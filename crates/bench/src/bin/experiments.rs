@@ -1,0 +1,262 @@
+//! Command-line front end regenerating the paper's tables and
+//! figures.
+//!
+//! ```text
+//! experiments <fig4|fig5|fig6|fig7|fig8|fig9|table1|sources|all>
+//!             [--scale S] [--runs N] [--seed K] [--trials T]
+//!             [--realizations R] [--out DIR] [--full-greedy]
+//!             [--heterogeneous]
+//! ```
+//!
+//! Defaults: DOAM experiments (fig7–9, table1) run at the paper's
+//! full network sizes (`--scale 1.0`); OPOAO experiments (fig4–6) run
+//! at `--scale 0.2` because the Monte-Carlo greedy is the expensive
+//! step (the paper itself notes the greedy "is time consuming",
+//! §VII). Pass `--scale 1.0` to the fig4–6 subcommands to run the
+//! full sizes.
+
+use std::process::ExitCode;
+
+use lcrb_bench::harness::{
+    figure_spec, run_doam_figure, run_opoao_figure, run_source_detection, run_table_one,
+    FigureResult, HarnessConfig, FIGURES,
+};
+use lcrb_bench::report::{write_report, TextTable};
+use lcrb::CandidatePool;
+
+struct CliOptions {
+    scale: Option<f64>,
+    runs: usize,
+    seed: u64,
+    trials: usize,
+    realizations: usize,
+    out: String,
+    full_greedy: bool,
+    heterogeneous: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: None,
+            runs: 100,
+            seed: 1,
+            trials: 3,
+            realizations: 16,
+            out: "results".to_owned(),
+            full_greedy: false,
+            heterogeneous: false,
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: experiments <fig4|fig5|fig6|fig7|fig8|fig9|table1|sources|all> \
+     [--scale S] [--runs N] [--seed K] [--trials T] [--realizations R] \
+     [--out DIR] [--full-greedy] [--heterogeneous]"
+}
+
+fn parse_options(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                let v: f64 = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if !(v > 0.0 && v <= 1.0) {
+                    return Err(format!("--scale must be in (0, 1], got {v}"));
+                }
+                opts.scale = Some(v);
+            }
+            "--runs" => {
+                opts.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("bad --runs: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad --trials: {e}"))?;
+            }
+            "--realizations" => {
+                opts.realizations = value("--realizations")?
+                    .parse()
+                    .map_err(|e| format!("bad --realizations: {e}"))?;
+            }
+            "--out" => opts.out = value("--out")?,
+            "--full-greedy" => opts.full_greedy = true,
+            "--heterogeneous" => opts.heterogeneous = true,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn harness_config(opts: &CliOptions, default_scale: f64) -> HarnessConfig {
+    HarnessConfig {
+        scale: opts.scale.unwrap_or(default_scale),
+        mc_runs: opts.runs,
+        seed: opts.seed,
+        trials: opts.trials,
+        realizations: opts.realizations,
+        greedy_pool: if opts.full_greedy {
+            CandidatePool::AllNonRumor
+        } else {
+            CandidatePool::BackwardRadius(1)
+        },
+        heterogeneous: opts.heterogeneous,
+    }
+}
+
+fn print_figure(result: &FigureResult, out_dir: &str) {
+    println!("== {} — {}", result.id, result.title);
+    println!(
+        "   dataset: {} | rumor community size {}",
+        result.dataset_summary, result.community_size
+    );
+    for sub in &result.subs {
+        println!(
+            "-- |R| = {} ({:.0}% of |C|), protector budget {}, |B| = {}",
+            sub.rumor_count,
+            sub.fraction * 100.0,
+            sub.budget,
+            sub.bridge_ends
+        );
+        println!("{}", sub.report.render_table());
+        let name = format!(
+            "{}_r{:02}pct.csv",
+            result.id,
+            (sub.fraction * 100.0).round() as u32
+        );
+        if let Err(e) = write_report(out_dir, &name, &sub.report.to_csv()) {
+            eprintln!("warning: could not write {out_dir}/{name}: {e}");
+        } else {
+            println!("   (written to {out_dir}/{name})");
+        }
+        println!();
+    }
+}
+
+fn run_figure(id: &str, opts: &CliOptions) -> Result<(), String> {
+    let spec = figure_spec(id).ok_or_else(|| format!("unknown figure {id}"))?;
+    let is_opoao = matches!(id, "fig4" | "fig5" | "fig6");
+    let cfg = harness_config(opts, if is_opoao { 0.2 } else { 1.0 });
+    eprintln!(
+        "running {id} at scale {} ({} mode)...",
+        cfg.scale,
+        if is_opoao { "OPOAO" } else { "DOAM" }
+    );
+    let result = if is_opoao {
+        run_opoao_figure(&spec, &cfg)
+    } else {
+        run_doam_figure(&spec, &cfg)
+    };
+    print_figure(&result, &opts.out);
+    Ok(())
+}
+
+fn run_table(opts: &CliOptions) -> Result<(), String> {
+    let cfg = harness_config(opts, 1.0);
+    eprintln!(
+        "running table1 at scale {} ({} trials per cell)...",
+        cfg.scale, cfg.trials
+    );
+    let rows = run_table_one(&cfg);
+    let mut table = TextTable::new([
+        "dataset", "|N|", "|C|", "|B|", "|R|/|C|", "SCBG", "Proximity", "MaxDegree",
+    ]);
+    for r in &rows {
+        table.push_row([
+            r.dataset.to_owned(),
+            r.network_size.to_string(),
+            r.community_size.to_string(),
+            format!("{:.1}", r.bridge_ends),
+            format!("{:.0}%", r.fraction * 100.0),
+            format!("{:.1}", r.scbg),
+            format!("{:.1}", r.proximity),
+            format!("{:.1}", r.max_degree),
+        ]);
+    }
+    println!("== table1 — protectors needed to cover all bridge ends (DOAM)");
+    println!("{}", table.render());
+    write_report(&opts.out, "table1.csv", &table.to_csv())
+        .map_err(|e| format!("could not write table1.csv: {e}"))?;
+    println!("   (written to {}/table1.csv)", opts.out);
+    Ok(())
+}
+
+fn run_sources(opts: &CliOptions) -> Result<(), String> {
+    let cfg = harness_config(opts, 0.2);
+    eprintln!(
+        "running source-detection accuracy at scale {} ({} trials per regime)...",
+        cfg.scale,
+        cfg.trials.max(5)
+    );
+    let rows = run_source_detection(&cfg);
+    let mut table = TextTable::new([
+        "snapshot", "trials", "candidates", "mean rank", "top-1", "top-10%",
+    ]);
+    for r in &rows {
+        table.push_row([
+            r.snapshot.to_owned(),
+            r.trials.to_string(),
+            r.candidates.to_string(),
+            format!("{:.1}", r.mean_rank),
+            r.top1.to_string(),
+            r.top10pct.to_string(),
+        ]);
+    }
+    println!("== sources — locating the rumor originator from a snapshot (extension)");
+    println!("{}", table.render());
+    write_report(&opts.out, "sources.csv", &table.to_csv())
+        .map_err(|e| format!("could not write sources.csv: {e}"))?;
+    println!("   (written to {}/sources.csv)", opts.out);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "table1" => run_table(&opts),
+        "sources" => run_sources(&opts),
+        "all" => {
+            let mut result = Ok(());
+            for spec in &FIGURES {
+                result = result.and_then(|()| run_figure(spec.id, &opts));
+            }
+            result.and_then(|()| run_table(&opts))
+        }
+        id if id.starts_with("fig") => run_figure(id, &opts),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text and CSV report rendering for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders the table as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Writes `contents` to `dir/name`, creating `dir` if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report<P: AsRef<Path>>(dir: P, name: &str, contents: &str) -> io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(name), contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.push_row(["alpha", "1"]);
+        t.push_row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(["k", "v"]);
+        t.push_row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn default_table_is_empty_and_renders_header_only() {
+        let t = TextTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let rendered = t.render();
+        assert_eq!(rendered.lines().count(), 2); // header + rule
+        assert_eq!(t.to_csv(), "\n");
+    }
+
+    #[test]
+    fn write_report_overwrites_existing_file() {
+        let dir = std::env::temp_dir().join("lcrb_report_overwrite_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_report(&dir, "t.txt", "first").unwrap();
+        write_report(&dir, "t.txt", "second").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("t.txt")).unwrap(), "second");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_report_creates_directories() {
+        let dir = std::env::temp_dir().join("lcrb_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_report(&dir, "t.txt", "hello").unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("t.txt")).unwrap(), "hello");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

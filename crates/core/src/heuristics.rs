@@ -1,0 +1,445 @@
+//! The comparison heuristics of §VI-B1 — MaxDegree, Proximity,
+//! Random, NoBlocking — behind a common [`ProtectorSelector`] trait,
+//! plus the coverage-mode runners used for Table I.
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use lcrb_graph::traversal::{bfs_distances, relax_with_source};
+use lcrb_graph::NodeId;
+
+use crate::{find_bridge_ends, BridgeEndRule, RumorBlockingInstance};
+
+/// A strategy that picks protector originators given a budget.
+///
+/// Implementations must never return rumor originators and must
+/// return at most `budget` distinct nodes. Deterministic strategies
+/// simply ignore the RNG.
+pub trait ProtectorSelector {
+    /// Selects up to `budget` protector originators for `instance`.
+    fn select(
+        &self,
+        instance: &RumorBlockingInstance,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId>;
+
+    /// Short stable name for reports ("max-degree", "proximity", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// "A basic algorithm, which simply chooses the nodes according to
+/// the decreasing order of node degree as the protectors" (§VI-B1).
+/// Out-degree is used (influence flows along out-edges); ties break
+/// toward smaller node ids for determinism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxDegreeSelector;
+
+impl MaxDegreeSelector {
+    /// All non-rumor nodes in decreasing out-degree order (the full
+    /// candidate ordering behind [`ProtectorSelector::select`]).
+    #[must_use]
+    pub fn ordering(&self, instance: &RumorBlockingInstance) -> Vec<NodeId> {
+        let g = instance.graph();
+        let mut nodes: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| !instance.is_rumor_seed(v))
+            .collect();
+        nodes.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+        nodes
+    }
+}
+
+impl ProtectorSelector for MaxDegreeSelector {
+    fn select(
+        &self,
+        instance: &RumorBlockingInstance,
+        budget: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut nodes = self.ordering(instance);
+        nodes.truncate(budget);
+        nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "max-degree"
+    }
+}
+
+/// "A simple heuristic algorithm, in which the direct out-neighbors
+/// of rumors are chosen as the protectors" (§VI-B1); when the budget
+/// is smaller than the neighborhood, protectors are sampled randomly
+/// from it, as in the paper's experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProximitySelector;
+
+impl ProximitySelector {
+    /// The candidate pool: distinct direct out-neighbors of the rumor
+    /// originators, excluding the originators themselves, in
+    /// ascending id order.
+    #[must_use]
+    pub fn pool(&self, instance: &RumorBlockingInstance) -> Vec<NodeId> {
+        let g = instance.graph();
+        let mut seen = vec![false; g.node_count()];
+        let mut pool = Vec::new();
+        for &r in instance.rumor_seeds() {
+            for &w in g.out_neighbors(r) {
+                if !seen[w.index()] && !instance.is_rumor_seed(w) {
+                    seen[w.index()] = true;
+                    pool.push(w);
+                }
+            }
+        }
+        pool.sort_unstable();
+        pool
+    }
+}
+
+impl ProtectorSelector for ProximitySelector {
+    fn select(
+        &self,
+        instance: &RumorBlockingInstance,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut pool = self.pool(instance);
+        pool.shuffle(rng);
+        pool.truncate(budget);
+        pool
+    }
+
+    fn name(&self) -> &'static str {
+        "proximity"
+    }
+}
+
+/// Uniform random non-rumor nodes (the baseline the paper excludes
+/// from its plots "due to its poor performance"; included here for
+/// completeness).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RandomSelector;
+
+impl ProtectorSelector for RandomSelector {
+    fn select(
+        &self,
+        instance: &RumorBlockingInstance,
+        budget: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = instance
+            .graph()
+            .nodes()
+            .filter(|&v| !instance.is_rumor_seed(v))
+            .collect();
+        nodes.shuffle(rng);
+        nodes.truncate(budget);
+        nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// PageRank-ranked protector selection — an extension baseline
+/// beyond the paper's heuristics: like MaxDegree but ranking by
+/// PageRank score on the full graph, which rewards globally central
+/// relays instead of raw out-degree. Deterministic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageRankSelector {
+    damping: f64,
+}
+
+impl Default for PageRankSelector {
+    /// The conventional damping factor 0.85.
+    fn default() -> Self {
+        PageRankSelector { damping: 0.85 }
+    }
+}
+
+impl PageRankSelector {
+    /// Creates a selector with a custom damping factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `damping` is not in `[0, 1)` (checked when
+    /// selecting).
+    #[must_use]
+    pub fn new(damping: f64) -> Self {
+        PageRankSelector { damping }
+    }
+
+    /// All non-rumor nodes in decreasing PageRank order (ties toward
+    /// smaller ids).
+    #[must_use]
+    pub fn ordering(&self, instance: &RumorBlockingInstance) -> Vec<NodeId> {
+        let pr = lcrb_graph::pagerank::pagerank(
+            instance.graph(),
+            &lcrb_graph::pagerank::PageRankConfig {
+                damping: self.damping,
+                ..Default::default()
+            },
+        );
+        let mut nodes: Vec<NodeId> = instance
+            .graph()
+            .nodes()
+            .filter(|&v| !instance.is_rumor_seed(v))
+            .collect();
+        nodes.sort_by(|&a, &b| {
+            pr.scores[b.index()]
+                .partial_cmp(&pr.scores[a.index()])
+                .expect("pagerank scores are finite")
+                .then(a.cmp(&b))
+        });
+        nodes
+    }
+}
+
+impl ProtectorSelector for PageRankSelector {
+    fn select(
+        &self,
+        instance: &RumorBlockingInstance,
+        budget: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut nodes = self.ordering(instance);
+        nodes.truncate(budget);
+        nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+}
+
+/// No protectors at all — the paper's "NoBlocking" reference line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoBlockingSelector;
+
+impl ProtectorSelector for NoBlockingSelector {
+    fn select(
+        &self,
+        _instance: &RumorBlockingInstance,
+        _budget: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "no-blocking"
+    }
+}
+
+/// Coverage mode for Table I: walk `ordering` front to back, adding
+/// protectors until every bridge end is protected under the DOAM
+/// timing oracle (`d_P(v) <= d_R(v)`, protector priority on ties).
+/// Protection is checked incrementally with BFS relaxation, so the
+/// whole sweep costs little more than one BFS per added protector.
+///
+/// Returns the protectors actually needed, or `None` if the ordering
+/// is exhausted before full coverage (e.g. a pool too small to reach
+/// some bridge end in time).
+#[must_use]
+pub fn protectors_to_cover_all(
+    instance: &RumorBlockingInstance,
+    rule: BridgeEndRule,
+    ordering: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    let g = instance.graph();
+    let bridge_ends = find_bridge_ends(instance, rule);
+    let d_r = bfs_distances(g, instance.rumor_seeds());
+    let mut d_p: Vec<Option<u32>> = vec![None; g.node_count()];
+
+    let uncovered = |d_p: &[Option<u32>]| {
+        bridge_ends.nodes.iter().any(|&v| {
+            match (d_p[v.index()], d_r[v.index()]) {
+                (_, None) => false, // unreachable: safe
+                (Some(p), Some(r)) => p > r,
+                (None, Some(_)) => true,
+            }
+        })
+    };
+
+    if !uncovered(&d_p) {
+        return Some(Vec::new());
+    }
+    let mut chosen = Vec::new();
+    for &u in ordering {
+        debug_assert!(!instance.is_rumor_seed(u), "ordering contains a rumor seed");
+        relax_with_source(g, &mut d_p, u);
+        chosen.push(u);
+        if !uncovered(&d_p) {
+            return Some(chosen);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrb_community::Partition;
+    use lcrb_graph::DiGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> RumorBlockingInstance {
+        // Rumor community {0,1,2}, neighbors {3,4,5}.
+        // 0 -> 1 -> 3, 0 -> 2 -> 4, 4 -> 5, 3 -> 5, 5 -> 3 (extra
+        // degree for node 5).
+        let g = DiGraph::from_edges(
+            6,
+            [(0, 1), (1, 3), (0, 2), (2, 4), (4, 5), (3, 5), (5, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+        RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap()
+    }
+
+    #[test]
+    fn max_degree_orders_by_out_degree() {
+        let inst = fixture();
+        let sel = MaxDegreeSelector;
+        let order = sel.ordering(&inst);
+        // Out-degrees: 1:1, 2:1, 3:1, 4:1, 5:1 — all ties except no
+        // node 0 (rumor). Check rumor exclusion and determinism.
+        assert!(!order.contains(&NodeId::new(0)));
+        assert_eq!(order.len(), 5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let picked = sel.select(&inst, 2, &mut rng);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(sel.name(), "max-degree");
+    }
+
+    #[test]
+    fn max_degree_prefers_hubs() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (1, 3), (1, 4), (2, 3)]).unwrap();
+        let p = Partition::from_labels(vec![0, 0, 1, 1, 1]);
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let picked = MaxDegreeSelector.select(&inst, 1, &mut rng);
+        assert_eq!(picked, vec![NodeId::new(1)]); // out-degree 3 hub
+    }
+
+    #[test]
+    fn proximity_pool_is_rumor_out_neighbors() {
+        let inst = fixture();
+        let sel = ProximitySelector;
+        assert_eq!(sel.pool(&inst), vec![NodeId::new(1), NodeId::new(2)]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let picked = sel.select(&inst, 5, &mut rng);
+        assert_eq!(picked.len(), 2); // pool smaller than budget
+        assert_eq!(sel.name(), "proximity");
+    }
+
+    #[test]
+    fn proximity_excludes_rumor_seeds_from_pool() {
+        // Both 0 and 1 are rumor seeds; 1's out-neighbors are 0
+        // (excluded: a seed) and 2 (kept).
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]).unwrap();
+        let p = Partition::from_labels(vec![0, 0, 1]);
+        let inst =
+            RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0), NodeId::new(1)]).unwrap();
+        assert_eq!(ProximitySelector.pool(&inst), vec![NodeId::new(2)]);
+    }
+
+    #[test]
+    fn random_selector_respects_budget_and_exclusion() {
+        let inst = fixture();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let picked = RandomSelector.select(&inst, 3, &mut rng);
+        assert_eq!(picked.len(), 3);
+        assert!(!picked.contains(&NodeId::new(0)));
+        // Distinct.
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(RandomSelector.name(), "random");
+    }
+
+    #[test]
+    fn pagerank_selector_prefers_central_nodes() {
+        // A hub that everything points to dominates PageRank.
+        let g = DiGraph::from_edges(
+            5,
+            [(0, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_labels(vec![0, 1, 1, 1, 1]);
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
+        let sel = PageRankSelector::default();
+        let order = sel.ordering(&inst);
+        assert_eq!(order[0], NodeId::new(1));
+        assert!(!order.contains(&NodeId::new(0)));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(sel.select(&inst, 1, &mut rng), vec![NodeId::new(1)]);
+        assert_eq!(sel.name(), "pagerank");
+        // Custom damping still works.
+        let order2 = PageRankSelector::new(0.5).ordering(&inst);
+        assert_eq!(order2.len(), 4);
+    }
+
+    #[test]
+    fn no_blocking_returns_empty() {
+        let inst = fixture();
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(NoBlockingSelector.select(&inst, 10, &mut rng).is_empty());
+        assert_eq!(NoBlockingSelector.name(), "no-blocking");
+    }
+
+    #[test]
+    fn coverage_mode_stops_as_soon_as_covered() {
+        let inst = fixture();
+        // Bridge ends are 3 (d_R = 2) and 4 (d_R = 2). Feeding the
+        // ordering [1, 2]: protecting 1 covers 3 (d_P = 1) but not 4;
+        // adding 2 covers 4.
+        let chosen = protectors_to_cover_all(
+            &inst,
+            BridgeEndRule::WithinCommunity,
+            &[NodeId::new(1), NodeId::new(2), NodeId::new(5)],
+        )
+        .unwrap();
+        assert_eq!(chosen, vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn coverage_mode_detects_insufficient_pool() {
+        let inst = fixture();
+        // Node 5 alone cannot protect bridge end 4 in time
+        // (d_P(4) = inf) nor 3 (d_P(3) = 1 <= 2 works)... so coverage
+        // fails overall.
+        let result = protectors_to_cover_all(
+            &inst,
+            BridgeEndRule::WithinCommunity,
+            &[NodeId::new(5)],
+        );
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn coverage_mode_with_no_bridge_ends_is_empty() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0)]).unwrap();
+        let p = Partition::from_labels(vec![0, 0, 1, 1]);
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
+        let chosen =
+            protectors_to_cover_all(&inst, BridgeEndRule::WithinCommunity, &[NodeId::new(2)])
+                .unwrap();
+        assert!(chosen.is_empty());
+    }
+
+    #[test]
+    fn coverage_mode_agrees_with_doam_simulation() {
+        use lcrb_diffusion::DoamModel;
+        let inst = fixture();
+        let ordering = MaxDegreeSelector.ordering(&inst);
+        let chosen =
+            protectors_to_cover_all(&inst, BridgeEndRule::WithinCommunity, &ordering).unwrap();
+        let seeds = inst.seed_sets(chosen).unwrap();
+        let outcome = DoamModel::default().run_deterministic(inst.graph(), &seeds);
+        let bridges = find_bridge_ends(&inst, BridgeEndRule::WithinCommunity);
+        for &v in &bridges.nodes {
+            assert!(!outcome.status(v).is_infected(), "bridge end {v} infected");
+        }
+    }
+}

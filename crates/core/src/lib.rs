@@ -1,0 +1,78 @@
+//! # lcrb
+//!
+//! A from-scratch Rust implementation of *Least Cost Rumor Blocking
+//! in Social Networks* (Fan, Lu, Wu, Thuraisingham, Ma, Bi — ICDCS
+//! 2013).
+//!
+//! The paper asks: given a social network with community structure
+//! and a set of rumor originators inside one community, what is the
+//! cheapest set of *protector* originators that keeps the rumor from
+//! escaping? Its key observation is that only the **bridge ends** —
+//! boundary nodes of the neighboring communities — need protecting.
+//! Two variants are studied:
+//!
+//! - **LCRB-P** (under the stochastic OPOAO model): protect an `α`
+//!   fraction of bridge ends in expectation. The objective is
+//!   monotone submodular (Theorem 1), so [`greedy_lcrb_p`] — the
+//!   paper's Algorithm 1, here with CELF lazy evaluation — is a
+//!   `(1 − 1/e)`-approximation.
+//! - **LCRB-D** (under the deterministic DOAM model): protect *all*
+//!   bridge ends. This is equivalent to Set Cover (Theorems 2–3), so
+//!   [`scbg`] — the Set Cover Based Greedy, Algorithm 3 — achieves
+//!   the optimal `O(ln |B|)` factor.
+//!
+//! The crate also ships the paper's comparison heuristics
+//! ([`MaxDegreeSelector`], [`ProximitySelector`], plus
+//! [`RandomSelector`] and [`NoBlockingSelector`]) and the evaluation
+//! harness ([`evaluate::compare_selectors`]) behind its figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lcrb::{find_bridge_ends, scbg, BridgeEndRule, RumorBlockingInstance, ScbgConfig};
+//! use lcrb_community::{louvain, LouvainConfig};
+//! use lcrb_graph::generators::planted_partition;
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small community-structured network...
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let (graph, _) = planted_partition(&[30, 30, 30], 0.3, 0.02, false, &mut rng)?;
+//! // ...its detected communities...
+//! let partition = louvain(&graph, &LouvainConfig::default()).partition;
+//! // ...a rumor starting in community 0...
+//! let instance = RumorBlockingInstance::with_random_seeds(graph, partition, 0, 3, &mut rng)?;
+//! // ...and the least-cost protector set that blocks every escape.
+//! let solution = scbg(&instance, &ScbgConfig::default());
+//! assert!(solution.is_complete());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bridge;
+mod error;
+pub mod evaluate;
+mod greedy;
+mod gvs;
+mod heuristics;
+mod instance;
+mod objective;
+mod scbg;
+pub mod setcover;
+pub mod source;
+
+pub use bridge::{find_bridge_ends, BridgeEndRule, BridgeEnds};
+pub use error::LcrbError;
+pub use greedy::{greedy_lcrb_p, greedy_with_budget, CandidatePool, GreedyConfig, GreedySelection};
+pub use gvs::{greedy_viral_stopper, GvsConfig, GvsSelection};
+pub use heuristics::{
+    protectors_to_cover_all, MaxDegreeSelector, NoBlockingSelector, PageRankSelector,
+    ProtectorSelector, ProximitySelector, RandomSelector,
+};
+pub use instance::RumorBlockingInstance;
+pub use objective::{ObjectiveModel, ProtectionObjective};
+pub use scbg::{scbg, scbg_weighted, ScbgConfig, ScbgSolution};

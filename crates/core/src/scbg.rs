@@ -1,0 +1,404 @@
+//! The Set Cover Based Greedy (SCBG) algorithm for LCRB-D
+//! (Algorithm 3 of the paper).
+//!
+//! Pipeline:
+//!
+//! 1. find the bridge ends `B` via RFSTs (step 3);
+//! 2. for each bridge end `v`, build its Bridge-end Backward Search
+//!    Tree (BBST) `Q_v`: a backward BFS from `v` whose depth is the
+//!    hop distance from the nearest rumor originator to `v` —
+//!    everything in `Q_v` except the rumor seeds can protect `v`
+//!    under DOAM, because seeding a protector at `u ∈ Q_v` gives
+//!    `d_P(v) ≤ d_R(v)` and ties favor P (step 4);
+//! 3. invert the trees into the 1-hop star sets `SW_u = {v : u ∈
+//!    Q_v}` (step 5);
+//! 4. run greedy set cover (Algorithm 2) over the `SW_u` to cover `B`
+//!    (step 6).
+//!
+//! Because the DOAM oracle is exact (see `lcrb-diffusion::doam`),
+//! every SCBG cover is a *certified* solution: all bridge ends are
+//! provably protected. The approximation factor is `H(|B|) = O(ln
+//! |B|)` by the set-cover reduction (Theorems 2–3).
+
+use std::collections::HashMap;
+
+use lcrb_graph::traversal::{bfs_distances, bfs_tree, Direction};
+use lcrb_graph::NodeId;
+
+use crate::setcover::greedy_set_cover;
+use crate::{find_bridge_ends, BridgeEndRule, BridgeEnds, RumorBlockingInstance};
+
+/// Tuning knobs for [`scbg`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScbgConfig {
+    /// How bridge ends are detected.
+    pub rule: BridgeEndRule,
+    /// Optional cap on BBST depth (ablation knob): `Some(d)` truncates
+    /// every backward search at depth `d`, shrinking the candidate
+    /// pool at the risk of a larger cover. `None` uses the paper's
+    /// full depth (the distance to the nearest rumor).
+    pub max_bbst_depth: Option<u32>,
+}
+
+/// The result of an SCBG run.
+#[derive(Clone, Debug)]
+pub struct ScbgSolution {
+    /// The selected protector originators, in selection order.
+    pub protectors: Vec<NodeId>,
+    /// The bridge ends the cover was computed against.
+    pub bridge_ends: BridgeEnds,
+    /// How many bridge ends the selection covers. Equal to
+    /// `bridge_ends.len()` unless a depth cap made some bridge end
+    /// uncoverable.
+    pub covered: usize,
+    /// Size of the candidate pool `|⋃ Q_v \ S_R|` the set cover chose
+    /// from.
+    pub candidate_count: usize,
+}
+
+impl ScbgSolution {
+    /// `true` when every bridge end is covered (always the case
+    /// without a depth cap: `v ∈ Q_v`, so protecting `v` itself is
+    /// always available).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.covered == self.bridge_ends.len()
+    }
+}
+
+/// Runs SCBG on `instance` and returns the selected protector seed
+/// set (Algorithm 3).
+///
+/// # Examples
+///
+/// ```
+/// use lcrb::{scbg, RumorBlockingInstance, ScbgConfig};
+/// use lcrb_community::Partition;
+/// use lcrb_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Rumor community {0, 1}; escapes via 2 and 3, both one hop from
+/// // the shared gateway 1 — protecting either bridge end... or
+/// // better, nothing upstream exists, so SCBG protects both.
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)])?;
+/// let p = Partition::from_labels(vec![0, 0, 1, 1]);
+/// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+/// let sol = scbg(&inst, &ScbgConfig::default());
+/// assert!(sol.is_complete());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn scbg(instance: &RumorBlockingInstance, config: &ScbgConfig) -> ScbgSolution {
+    let g = instance.graph();
+    let bridge_ends = find_bridge_ends(instance, config.rule);
+
+    // Infection times: hop distance from the nearest rumor originator
+    // in the full graph.
+    let d_r = bfs_distances(g, instance.rumor_seeds());
+
+    let mut is_rumor = vec![false; g.node_count()];
+    for &r in instance.rumor_seeds() {
+        is_rumor[r.index()] = true;
+    }
+
+    // Build SW_u = { bridge-end index : u ∈ Q_v } by inverting each
+    // BBST as it is produced.
+    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
+    for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
+        let depth = d_r[v.index()]
+            .expect("bridge ends are reachable from the rumor originators by definition");
+        let depth = config.max_bbst_depth.map_or(depth, |cap| depth.min(cap));
+        let bbst = bfs_tree(g, &[v], Direction::Backward, depth, |_| true);
+        for &u in &bbst.order {
+            if !is_rumor[u.index()] {
+                sw.entry(u).or_default().push(b_idx as u32);
+            }
+        }
+    }
+
+    // Deterministic candidate order (by node id) so runs are
+    // reproducible.
+    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
+    candidates.sort_unstable();
+    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
+
+    let solution = greedy_set_cover(bridge_ends.len(), &sets);
+    let protectors = solution
+        .selected
+        .iter()
+        .map(|&i| candidates[i])
+        .collect();
+    ScbgSolution {
+        protectors,
+        covered: solution.covered,
+        candidate_count: candidates.len(),
+        bridge_ends,
+    }
+}
+
+/// Cost-aware SCBG — an extension beyond the paper: protectors have
+/// per-node recruitment costs and the cover minimizes total cost via
+/// the weighted greedy (ratio rule), still within the classic
+/// logarithmic factor of the optimal weighted cover.
+///
+/// `cost(v)` must be strictly positive and finite for every node the
+/// BBSTs propose as a candidate.
+///
+/// # Panics
+///
+/// Panics (inside the set-cover layer) if `cost` produces a
+/// non-positive or non-finite value for a candidate.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb::{scbg_weighted, RumorBlockingInstance, ScbgConfig};
+/// use lcrb_community::Partition;
+/// use lcrb_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)])?;
+/// let p = Partition::from_labels(vec![0, 0, 1, 1]);
+/// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+/// // Uniform costs reduce to plain SCBG.
+/// let sol = scbg_weighted(&inst, &ScbgConfig::default(), |_| 1.0);
+/// assert!(sol.is_complete());
+/// # Ok(())
+/// # }
+/// ```
+pub fn scbg_weighted<F>(
+    instance: &RumorBlockingInstance,
+    config: &ScbgConfig,
+    cost: F,
+) -> ScbgSolution
+where
+    F: Fn(NodeId) -> f64,
+{
+    let g = instance.graph();
+    let bridge_ends = find_bridge_ends(instance, config.rule);
+    let d_r = bfs_distances(g, instance.rumor_seeds());
+    let mut is_rumor = vec![false; g.node_count()];
+    for &r in instance.rumor_seeds() {
+        is_rumor[r.index()] = true;
+    }
+    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
+    for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
+        let depth = d_r[v.index()]
+            .expect("bridge ends are reachable from the rumor originators by definition");
+        let depth = config.max_bbst_depth.map_or(depth, |cap| depth.min(cap));
+        let bbst = bfs_tree(g, &[v], Direction::Backward, depth, |_| true);
+        for &u in &bbst.order {
+            if !is_rumor[u.index()] {
+                sw.entry(u).or_default().push(b_idx as u32);
+            }
+        }
+    }
+    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
+    candidates.sort_unstable();
+    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
+    let costs: Vec<f64> = candidates.iter().map(|&u| cost(u)).collect();
+    let solution = crate::setcover::greedy_weighted_set_cover(bridge_ends.len(), &sets, &costs);
+    ScbgSolution {
+        protectors: solution
+            .selected
+            .iter()
+            .map(|&i| candidates[i])
+            .collect(),
+        covered: solution.covered,
+        candidate_count: candidates.len(),
+        bridge_ends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrb_community::Partition;
+    use lcrb_diffusion::{doam_analytic, DoamModel};
+    use lcrb_graph::generators;
+    use lcrb_graph::DiGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn instance(g: DiGraph, labels: Vec<usize>, seeds: Vec<usize>) -> RumorBlockingInstance {
+        let p = Partition::from_labels(labels);
+        RumorBlockingInstance::new(g, p, 0, seeds.into_iter().map(NodeId::new).collect())
+            .unwrap()
+    }
+
+    /// Protection check shared by the tests: simulate DOAM with the
+    /// chosen protectors and assert every bridge end survives.
+    fn assert_all_bridge_ends_protected(inst: &RumorBlockingInstance, sol: &ScbgSolution) {
+        let seeds = inst.seed_sets(sol.protectors.clone()).unwrap();
+        let outcome = DoamModel::default().run_deterministic(inst.graph(), &seeds);
+        for &v in &sol.bridge_ends.nodes {
+            assert!(
+                !outcome.status(v).is_infected(),
+                "bridge end {v} was infected"
+            );
+        }
+    }
+
+    #[test]
+    fn single_gateway_is_covered_by_one_protector() {
+        // Rumor community {0,1}: 0 -> 1; gateway 1 -> 2; 2 -> {3, 4}
+        // inside the neighbor community... wait, bridge ends are
+        // first-outside nodes: only node 2. One protector suffices.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let inst = instance(g, vec![0, 0, 1, 1, 1], vec![0]);
+        let sol = scbg(&inst, &ScbgConfig::default());
+        assert_eq!(sol.bridge_ends.nodes, vec![NodeId::new(2)]);
+        assert!(sol.is_complete());
+        assert_eq!(sol.protectors.len(), 1);
+        assert_all_bridge_ends_protected(&inst, &sol);
+    }
+
+    #[test]
+    fn shared_upstream_node_covers_multiple_bridge_ends() {
+        // Two bridge ends 3, 4 both fed by gateway 1 at distance 2
+        // from the rumor; protecting node 1 covers both (d_P = 1 <=
+        // d_R for each).
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 3), (1, 4)]).unwrap();
+        let inst = instance(g, vec![0, 0, 0, 1, 1], vec![0]);
+        let sol = scbg(&inst, &ScbgConfig::default());
+        assert_eq!(sol.bridge_ends.len(), 2);
+        assert!(sol.is_complete());
+        assert_eq!(sol.protectors, vec![NodeId::new(1)]);
+        assert_all_bridge_ends_protected(&inst, &sol);
+    }
+
+    #[test]
+    fn rumor_seeds_are_never_selected() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]).unwrap();
+        let inst = instance(g, vec![0, 0, 1, 1], vec![0, 1]);
+        let sol = scbg(&inst, &ScbgConfig::default());
+        assert!(sol.is_complete());
+        for p in &sol.protectors {
+            assert!(!inst.is_rumor_seed(*p), "selected rumor seed {p}");
+        }
+        assert_all_bridge_ends_protected(&inst, &sol);
+    }
+
+    #[test]
+    fn empty_bridge_set_needs_no_protectors() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 0)]).unwrap();
+        let inst = instance(g, vec![0, 0, 1, 1], vec![0]);
+        let sol = scbg(&inst, &ScbgConfig::default());
+        assert!(sol.protectors.is_empty());
+        assert!(sol.is_complete());
+        assert_eq!(sol.candidate_count, 0);
+    }
+
+    #[test]
+    fn depth_cap_still_covers_via_self_protection() {
+        // Even with depth 0, Q_v = {v} and SCBG protects the bridge
+        // ends directly.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 3), (1, 4)]).unwrap();
+        let inst = instance(g, vec![0, 0, 0, 1, 1], vec![0]);
+        let sol = scbg(
+            &inst,
+            &ScbgConfig {
+                max_bbst_depth: Some(0),
+                ..ScbgConfig::default()
+            },
+        );
+        assert!(sol.is_complete());
+        let mut got = sol.protectors.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![NodeId::new(3), NodeId::new(4)]);
+        assert_all_bridge_ends_protected(&inst, &sol);
+    }
+
+    #[test]
+    fn depth_cap_increases_or_keeps_cover_size() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let (g, labels) =
+            generators::planted_partition(&[30, 30, 30], 0.25, 0.02, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 3, &mut rng).unwrap();
+        let full = scbg(&inst, &ScbgConfig::default());
+        let capped = scbg(
+            &inst,
+            &ScbgConfig {
+                max_bbst_depth: Some(1),
+                ..ScbgConfig::default()
+            },
+        );
+        assert!(full.is_complete());
+        assert!(capped.is_complete());
+        assert!(capped.protectors.len() >= full.protectors.len());
+    }
+
+    #[test]
+    fn scbg_certifies_protection_on_random_community_graphs() {
+        for seed in 0..10u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let (g, labels) =
+                generators::planted_partition(&[25, 25, 25], 0.3, 0.03, false, &mut rng)
+                    .unwrap();
+            let p = Partition::from_labels(labels);
+            let inst =
+                RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+            let sol = scbg(&inst, &ScbgConfig::default());
+            assert!(sol.is_complete(), "seed {seed}: incomplete cover");
+            assert_all_bridge_ends_protected(&inst, &sol);
+            // The analytic oracle agrees.
+            let seeds = inst.seed_sets(sol.protectors.clone()).unwrap();
+            let outcome = doam_analytic(inst.graph(), &seeds);
+            for &v in &sol.bridge_ends.nodes {
+                assert!(!outcome.status(v).is_infected());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_scbg_avoids_expensive_nodes() {
+        // Gateway 1 covers both bridge ends but costs a fortune;
+        // protecting the two bridge ends directly is cheaper.
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 3), (1, 4)]).unwrap();
+        let inst = instance(g, vec![0, 0, 0, 1, 1], vec![0]);
+        let cheap = scbg_weighted(&inst, &ScbgConfig::default(), |v| {
+            if v == NodeId::new(1) {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        assert!(cheap.is_complete());
+        let mut got = cheap.protectors.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![NodeId::new(3), NodeId::new(4)]);
+        // With uniform costs, the shared gateway wins again.
+        let uniform = scbg_weighted(&inst, &ScbgConfig::default(), |_| 1.0);
+        assert_eq!(uniform.protectors, vec![NodeId::new(1)]);
+        assert_all_bridge_ends_protected(&inst, &cheap);
+        assert_all_bridge_ends_protected(&inst, &uniform);
+    }
+
+    #[test]
+    fn weighted_scbg_with_uniform_costs_matches_plain_size() {
+        let mut rng = SmallRng::seed_from_u64(40);
+        let (g, labels) =
+            generators::planted_partition(&[25, 25], 0.3, 0.03, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+        let plain = scbg(&inst, &ScbgConfig::default());
+        let weighted = scbg_weighted(&inst, &ScbgConfig::default(), |_| 1.0);
+        assert!(weighted.is_complete());
+        assert_eq!(plain.protectors.len(), weighted.protectors.len());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let (g, labels) =
+            generators::planted_partition(&[20, 20], 0.3, 0.05, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+        let a = scbg(&inst, &ScbgConfig::default());
+        let b = scbg(&inst, &ScbgConfig::default());
+        assert_eq!(a.protectors, b.protectors);
+    }
+}

@@ -1,0 +1,372 @@
+//! The Deterministic One-Activate-Many (DOAM) model of §III-B.
+//!
+//! When a node first activates at step `t`, all of its currently
+//! inactive out-neighbors activate at `t+1` (each node influences its
+//! neighbors exactly once); the protector cascade wins simultaneous
+//! claims. The process is completely deterministic — information
+//! broadcast, in the paper's words.
+//!
+//! # Analytic oracle
+//!
+//! Under DOAM the outcome has a closed form: with `d_R(v)`/`d_P(v)`
+//! the plain multi-source BFS distances from the rumor/protector
+//! seeds, node `v` activates at hop `min(d_P(v), d_R(v))` and is
+//! protected iff `d_P(v) <= d_R(v)`. (Induction along a shortest
+//! cascade path: a blocked intermediate node would imply a strictly
+//! shorter opposing distance to `v`, contradicting the path being
+//! shortest.) [`doam_analytic`] computes this directly with two BFS
+//! passes and is the fast protection oracle used by the Table I
+//! coverage experiments; its agreement with the step simulator
+//! [`DoamModel::run`] is enforced by unit and property tests.
+
+use rand::Rng;
+
+use lcrb_graph::traversal::bfs_distances;
+use lcrb_graph::{DiGraph, NodeId};
+
+use crate::outcome::StateTracker;
+use crate::{DiffusionOutcome, HopRecord, SeedSets, Status, TwoCascadeModel};
+
+/// The DOAM model.
+///
+/// DOAM terminates on its own within at most `n` hops; `max_hops`
+/// exists to truncate traces for like-for-like comparisons with
+/// OPOAO figures and defaults to "no limit".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DoamModel {
+    /// Maximum number of hops to simulate.
+    pub max_hops: u32,
+}
+
+impl Default for DoamModel {
+    fn default() -> Self {
+        DoamModel { max_hops: u32::MAX }
+    }
+}
+
+impl DoamModel {
+    /// Creates a model with a hop budget.
+    #[must_use]
+    pub fn new(max_hops: u32) -> Self {
+        DoamModel { max_hops }
+    }
+
+    /// Runs the deterministic step simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside `graph`.
+    #[must_use]
+    pub fn run_deterministic(&self, graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
+        let n = graph.node_count();
+        let mut tracker = StateTracker::from_seeds(n, seeds);
+        let mut frontier_p: Vec<NodeId> = seeds.protectors().to_vec();
+        let mut frontier_r: Vec<NodeId> = seeds.rumors().to_vec();
+        // 0 = unclaimed, 1 = R, 2 = P.
+        let mut claim: Vec<u8> = vec![0; n];
+        let mut quiescent = false;
+
+        for hop in 1..=self.max_hops {
+            if frontier_p.is_empty() && frontier_r.is_empty() {
+                quiescent = true;
+                break;
+            }
+            let mut new_protected = Vec::new();
+            let mut new_infected = Vec::new();
+            // Protector frontier claims first (P-priority is then
+            // automatic).
+            for &u in &frontier_p {
+                for &w in graph.out_neighbors(u) {
+                    if tracker.is_inactive(w) && claim[w.index()] == 0 {
+                        claim[w.index()] = 2;
+                        new_protected.push(w);
+                    }
+                }
+            }
+            for &u in &frontier_r {
+                for &w in graph.out_neighbors(u) {
+                    if tracker.is_inactive(w) && claim[w.index()] == 0 {
+                        claim[w.index()] = 1;
+                        new_infected.push(w);
+                    }
+                }
+            }
+            for &w in new_protected.iter().chain(&new_infected) {
+                claim[w.index()] = 0;
+            }
+            tracker.activate_hop(hop, &new_protected, &new_infected);
+            frontier_p = new_protected;
+            frontier_r = new_infected;
+        }
+        if frontier_p.is_empty() && frontier_r.is_empty() {
+            quiescent = true;
+        }
+        tracker.finish(quiescent)
+    }
+}
+
+impl TwoCascadeModel for DoamModel {
+    /// DOAM is deterministic; the RNG is ignored.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        graph: &DiGraph,
+        seeds: &SeedSets,
+        _rng: &mut R,
+    ) -> DiffusionOutcome {
+        self.run_deterministic(graph, seeds)
+    }
+
+    fn name(&self) -> &'static str {
+        "doam"
+    }
+}
+
+/// Computes the DOAM outcome analytically from two multi-source BFS
+/// passes (see the module docs for the correctness argument).
+/// Produces exactly the same statuses, activation hops, and trace as
+/// [`DoamModel::run_deterministic`] with an unlimited hop budget.
+///
+/// # Panics
+///
+/// Panics if `seeds` refers to nodes outside `graph`.
+#[must_use]
+pub fn doam_analytic(graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
+    let n = graph.node_count();
+    let d_r = bfs_distances(graph, seeds.rumors());
+    let d_p = bfs_distances(graph, seeds.protectors());
+    let mut status = vec![Status::Inactive; n];
+    let mut activation = vec![None; n];
+    let mut max_hop = 0u32;
+    for i in 0..n {
+        let (dr, dp) = (d_r[i], d_p[i]);
+        let (s, h) = match (dp, dr) {
+            (Some(p), Some(r)) if p <= r => (Status::Protected, p),
+            (Some(p), None) => (Status::Protected, p),
+            (_, Some(r)) => (Status::Infected, r),
+            (None, None) => continue,
+        };
+        status[i] = s;
+        activation[i] = Some(h);
+        max_hop = max_hop.max(h);
+    }
+    // Rebuild the hop trace from activation times.
+    let mut new_infected = vec![0usize; max_hop as usize + 1];
+    let mut new_protected = vec![0usize; max_hop as usize + 1];
+    for i in 0..n {
+        if let Some(h) = activation[i] {
+            match status[i] {
+                Status::Infected => new_infected[h as usize] += 1,
+                Status::Protected => new_protected[h as usize] += 1,
+                Status::Inactive => unreachable!("activated node has a status"),
+            }
+        }
+    }
+    let mut trace = Vec::with_capacity(max_hop as usize + 2);
+    let (mut ti, mut tp) = (0usize, 0usize);
+    for hop in 0..=max_hop {
+        ti += new_infected[hop as usize];
+        tp += new_protected[hop as usize];
+        trace.push(HopRecord {
+            hop,
+            new_infected: new_infected[hop as usize],
+            new_protected: new_protected[hop as usize],
+            total_infected: ti,
+            total_protected: tp,
+        });
+    }
+    // The step simulator records one final hop with no activity
+    // before detecting quiescence — only when some seed existed.
+    if n > 0 && (ti > 0 || tp > 0) {
+        trace.push(HopRecord {
+            hop: max_hop + 1,
+            new_infected: 0,
+            new_protected: 0,
+            total_infected: ti,
+            total_protected: tp,
+        });
+    }
+    DiffusionOutcome::new(status, activation, trace, true)
+}
+
+/// Reports whether each node of `targets` would be protected (not
+/// infected) under DOAM with the given seeds — the coverage check
+/// used by the LCRB-D experiments. A target is "safe" when it is
+/// protected or never reached.
+///
+/// # Panics
+///
+/// Panics if `seeds` or `targets` refer to nodes outside `graph`.
+#[must_use]
+pub fn doam_safe_targets(graph: &DiGraph, seeds: &SeedSets, targets: &[NodeId]) -> Vec<bool> {
+    let d_r = bfs_distances(graph, seeds.rumors());
+    let d_p = bfs_distances(graph, seeds.protectors());
+    targets
+        .iter()
+        .map(|&v| match (d_p[v.index()], d_r[v.index()]) {
+            (_, None) => true,
+            (Some(p), Some(r)) => p <= r,
+            (None, Some(_)) => false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrb_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seeds(g: &DiGraph, r: &[usize], p: &[usize]) -> SeedSets {
+        SeedSets::new(
+            g,
+            r.iter().map(|&i| NodeId::new(i)).collect(),
+            p.iter().map(|&i| NodeId::new(i)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn broadcast_on_path() {
+        let g = generators::path_graph(5);
+        let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[]));
+        assert_eq!(o.infected_count(), 5);
+        assert_eq!(o.activation_hop(NodeId::new(4)), Some(4));
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn tie_goes_to_protector() {
+        // 0 (R) -> 2 <- 1 (P).
+        let g = DiGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+        let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[1]));
+        assert_eq!(o.status(NodeId::new(2)), Status::Protected);
+    }
+
+    #[test]
+    fn closer_rumor_wins() {
+        // R at 0 one hop from 2; P at 3 two hops from 2 (3 -> 4 -> 2).
+        let g = DiGraph::from_edges(5, [(0, 2), (3, 4), (4, 2)]).unwrap();
+        let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[3]));
+        assert_eq!(o.status(NodeId::new(2)), Status::Infected);
+    }
+
+    #[test]
+    fn single_chance_semantics() {
+        // Star: hub infected at hop 0 activates all leaves at hop 1,
+        // then the process stops even though the hub stays infected.
+        let g = generators::star_graph(6);
+        let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[]));
+        assert_eq!(o.infected_count(), 6);
+        assert!(o
+            .trace()
+            .iter()
+            .all(|r| r.hop <= 2));
+    }
+
+    #[test]
+    fn protection_wall_blocks_rumor() {
+        // 0 -> 1 -> 2 -> 3 with protector at 1's position already: R
+        // cannot pass a protected node.
+        let g = generators::path_graph(4);
+        let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[1]));
+        assert_eq!(o.status(NodeId::new(1)), Status::Protected);
+        assert_eq!(o.status(NodeId::new(2)), Status::Protected);
+        assert_eq!(o.status(NodeId::new(3)), Status::Protected);
+        assert_eq!(o.infected_count(), 1);
+    }
+
+    #[test]
+    fn analytic_matches_simulation_on_fixtures() {
+        let cases: Vec<(DiGraph, SeedSets)> = vec![
+            {
+                let g = generators::path_graph(6);
+                let s = seeds(&g, &[0], &[3]);
+                (g, s)
+            },
+            {
+                let g = generators::star_graph(8);
+                let s = seeds(&g, &[1], &[2]);
+                (g, s)
+            },
+            {
+                let g = generators::cycle_graph(9);
+                let s = seeds(&g, &[0], &[4]);
+                (g, s)
+            },
+            {
+                let g = DiGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+                let s = seeds(&g, &[0], &[1]);
+                (g, s)
+            },
+        ];
+        for (g, s) in cases {
+            let sim = DoamModel::default().run_deterministic(&g, &s);
+            let ana = doam_analytic(&g, &s);
+            assert_eq!(sim.statuses(), ana.statuses());
+            for v in g.nodes() {
+                assert_eq!(sim.activation_hop(v), ana.activation_hop(v), "node {v}");
+            }
+            assert_eq!(sim.trace(), ana.trace());
+        }
+    }
+
+    #[test]
+    fn analytic_matches_simulation_on_random_graphs() {
+        for seed in 0..30u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let g = generators::gnm_directed(50, 170, &mut rng).unwrap();
+            let s = seeds(&g, &[0, 1], &[2, 3]);
+            let sim = DoamModel::default().run_deterministic(&g, &s);
+            let ana = doam_analytic(&g, &s);
+            assert_eq!(sim.statuses(), ana.statuses(), "seed {seed}");
+            assert_eq!(sim.trace(), ana.trace(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn safe_targets_match_outcome() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::gnm_directed(40, 160, &mut rng).unwrap();
+        let s = seeds(&g, &[0], &[1, 2]);
+        let outcome = DoamModel::default().run_deterministic(&g, &s);
+        let targets: Vec<NodeId> = g.nodes().collect();
+        let safe = doam_safe_targets(&g, &s, &targets);
+        for (v, &is_safe) in targets.iter().zip(&safe) {
+            assert_eq!(is_safe, !outcome.status(*v).is_infected(), "node {v}");
+        }
+    }
+
+    #[test]
+    fn empty_seeds_trace() {
+        let g = generators::path_graph(3);
+        let s = seeds(&g, &[], &[]);
+        let sim = DoamModel::default().run_deterministic(&g, &s);
+        let ana = doam_analytic(&g, &s);
+        assert_eq!(sim.infected_count(), 0);
+        assert_eq!(sim.trace(), ana.trace());
+    }
+
+    #[test]
+    fn hop_budget_truncates_doam() {
+        let g = generators::path_graph(10);
+        let o = DoamModel::new(2).run_deterministic(&g, &seeds(&g, &[0], &[]));
+        assert_eq!(o.infected_count(), 3);
+        assert!(!o.is_quiescent());
+    }
+
+    #[test]
+    fn model_name_and_rng_independence() {
+        let g = generators::path_graph(4);
+        let s = seeds(&g, &[0], &[]);
+        let m = DoamModel::default();
+        assert_eq!(m.name(), "doam");
+        let mut r1 = SmallRng::seed_from_u64(1);
+        let mut r2 = SmallRng::seed_from_u64(999);
+        assert_eq!(
+            m.run(&g, &s, &mut r1).statuses(),
+            m.run(&g, &s, &mut r2).statuses()
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! # lcrb-diffusion
+//!
+//! Two-cascade diffusion engine for the reproduction of *Least Cost
+//! Rumor Blocking in Social Networks* (Fan et al., ICDCS 2013).
+//!
+//! The paper studies a rumor cascade R and a protector cascade P
+//! spreading simultaneously on a directed social graph, under two
+//! models (§III) sharing three properties: both cascades start at
+//! step 0, P wins simultaneous arrivals, and activation is
+//! progressive. This crate implements, from scratch:
+//!
+//! - [`OpoaoModel`]: the Opportunistic One-Activate-One model — each
+//!   active node targets one uniformly random out-neighbor per step;
+//! - [`DoamModel`]: the Deterministic One-Activate-Many model —
+//!   newly active nodes broadcast to all inactive out-neighbors —
+//!   plus [`doam_analytic`], the exact BFS-distance oracle, and
+//!   [`doam_safe_targets`] for fast coverage checks;
+//! - [`OpoaoRealization`]: common-random-numbers couplings of the
+//!   OPOAO choices (the paper's timestamp/random-graph construction,
+//!   §V-A), which make the greedy objective a deterministic
+//!   submodular function per realization;
+//! - [`monte_carlo`]: a crossbeam-parallel, seed-reproducible
+//!   Monte-Carlo driver over any [`TwoCascadeModel`];
+//! - [`CompetitiveIcModel`] / [`CompetitiveLtModel`]: the competitive
+//!   IC / LT extension models from the paper's related work.
+//!
+//! ## Example
+//!
+//! ```
+//! use lcrb_diffusion::{DoamModel, SeedSets};
+//! use lcrb_graph::{DiGraph, NodeId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // rumor 0 -> 1 -> 2; protector 3 -> 2 arrives at the same hop as
+//! // the rumor, and the protector cascade has priority.
+//! let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (3, 1)])?;
+//! let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(3)])?;
+//! let outcome = DoamModel::default().run_deterministic(&g, &seeds);
+//! assert!(outcome.status(NodeId::new(1)).is_protected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod doam;
+mod ic;
+mod lt;
+mod model;
+mod montecarlo;
+mod opoao;
+mod outcome;
+mod realization;
+mod seeds;
+mod sis;
+mod timestamps;
+
+pub use doam::{doam_analytic, doam_safe_targets, DoamModel};
+pub use ic::{CompetitiveIcModel, IcRealization, InvalidProbabilityError};
+pub use lt::CompetitiveLtModel;
+pub use model::TwoCascadeModel;
+pub use montecarlo::{monte_carlo, AveragedOutcome, MonteCarloConfig};
+pub use opoao::{OpoaoModel, PAPER_OPOAO_HOPS};
+pub use outcome::{DiffusionOutcome, HopRecord, Status};
+pub use realization::OpoaoRealization;
+pub use seeds::{SeedError, SeedSets};
+pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};
+pub use timestamps::{run_opoao_timestamped, EdgeStamp, TimestampedOutcome};

@@ -1,0 +1,267 @@
+//! Competitive Linear Threshold — an extension model.
+//!
+//! Modeled after the competitive LT (CLT) model of He et al. [16]
+//! discussed in the paper's related work: each node `v` draws a
+//! threshold `θ_v ~ U(0, 1]`; every in-edge carries weight
+//! `1/d_in(v)`. A node activates when the accumulated weight of its
+//! active in-neighbors reaches `θ_v`. Following the blocking-cascade
+//! priority of [16] (and the paper's property 2), the node becomes
+//! *protected* when the protector weight alone reaches the threshold,
+//! and infected otherwise.
+
+use rand::Rng;
+
+use lcrb_graph::{DiGraph, NodeId};
+
+use crate::outcome::StateTracker;
+use crate::{DiffusionOutcome, SeedSets, TwoCascadeModel};
+
+/// The competitive LT model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CompetitiveLtModel {
+    /// Maximum number of diffusion hops.
+    pub max_hops: u32,
+}
+
+impl Default for CompetitiveLtModel {
+    fn default() -> Self {
+        CompetitiveLtModel { max_hops: u32::MAX }
+    }
+}
+
+impl CompetitiveLtModel {
+    /// Creates a model with a hop budget.
+    #[must_use]
+    pub fn new(max_hops: u32) -> Self {
+        CompetitiveLtModel { max_hops }
+    }
+}
+
+impl TwoCascadeModel for CompetitiveLtModel {
+    fn run<R: Rng + ?Sized>(
+        &self,
+        graph: &DiGraph,
+        seeds: &SeedSets,
+        rng: &mut R,
+    ) -> DiffusionOutcome {
+        let n = graph.node_count();
+        let mut tracker = StateTracker::from_seeds(n, seeds);
+        // θ_v ∈ (0, 1]: a zero threshold would activate nodes with no
+        // active in-neighbors.
+        let thresholds: Vec<f64> = (0..n).map(|_| 1.0 - rng.gen::<f64>()).collect();
+        let mut weight_p = vec![0.0f64; n];
+        let mut weight_r = vec![0.0f64; n];
+        // Nodes whose accumulated weight changed and are still
+        // inactive (deduplicated via `dirty` flags).
+        let mut candidates: Vec<NodeId> = Vec::new();
+        let mut dirty = vec![false; n];
+
+        let push_influence = |u: NodeId,
+                                  protected: bool,
+                                  weight_p: &mut Vec<f64>,
+                                  weight_r: &mut Vec<f64>,
+                                  candidates: &mut Vec<NodeId>,
+                                  dirty: &mut Vec<bool>,
+                                  tracker: &StateTracker| {
+            for &w in graph.out_neighbors(u) {
+                if !tracker.is_inactive(w) {
+                    continue;
+                }
+                let share = 1.0 / graph.in_degree(w) as f64;
+                if protected {
+                    weight_p[w.index()] += share;
+                } else {
+                    weight_r[w.index()] += share;
+                }
+                if !dirty[w.index()] {
+                    dirty[w.index()] = true;
+                    candidates.push(w);
+                }
+            }
+        };
+
+        for &p in seeds.protectors() {
+            push_influence(
+                p,
+                true,
+                &mut weight_p,
+                &mut weight_r,
+                &mut candidates,
+                &mut dirty,
+                &tracker,
+            );
+        }
+        for &r in seeds.rumors() {
+            push_influence(
+                r,
+                false,
+                &mut weight_p,
+                &mut weight_r,
+                &mut candidates,
+                &mut dirty,
+                &tracker,
+            );
+        }
+
+        let mut quiescent = false;
+        for hop in 1..=self.max_hops {
+            if candidates.is_empty() {
+                quiescent = true;
+                break;
+            }
+            let mut new_protected = Vec::new();
+            let mut new_infected = Vec::new();
+            let mut still_waiting = Vec::new();
+            for &v in &candidates {
+                dirty[v.index()] = false;
+                if !tracker.is_inactive(v) {
+                    continue;
+                }
+                let (wp, wr) = (weight_p[v.index()], weight_r[v.index()]);
+                if wp >= thresholds[v.index()] {
+                    new_protected.push(v);
+                } else if wp + wr >= thresholds[v.index()] {
+                    new_infected.push(v);
+                } else {
+                    still_waiting.push(v);
+                }
+            }
+            if new_protected.is_empty() && new_infected.is_empty() {
+                tracker.activate_hop(hop, &[], &[]);
+                quiescent = true;
+                break;
+            }
+            tracker.activate_hop(hop, &new_protected, &new_infected);
+            candidates.clear();
+            for &v in &still_waiting {
+                dirty[v.index()] = true;
+                candidates.push(v);
+            }
+            for &v in &new_protected {
+                push_influence(
+                    v,
+                    true,
+                    &mut weight_p,
+                    &mut weight_r,
+                    &mut candidates,
+                    &mut dirty,
+                    &tracker,
+                );
+            }
+            for &v in &new_infected {
+                push_influence(
+                    v,
+                    false,
+                    &mut weight_p,
+                    &mut weight_r,
+                    &mut candidates,
+                    &mut dirty,
+                    &tracker,
+                );
+            }
+        }
+        if candidates.is_empty() {
+            quiescent = true;
+        }
+        tracker.finish(quiescent)
+    }
+
+    fn name(&self) -> &'static str {
+        "competitive-lt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Status;
+    use lcrb_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seeds(g: &DiGraph, r: &[usize], p: &[usize]) -> SeedSets {
+        SeedSets::new(
+            g,
+            r.iter().map(|&i| NodeId::new(i)).collect(),
+            p.iter().map(|&i| NodeId::new(i)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_in_weight_always_activates() {
+        // On a path every node has in-degree 1: once the predecessor
+        // is active, weight = 1 >= θ for any θ in (0, 1].
+        let g = generators::path_graph(5);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let o = CompetitiveLtModel::default().run(&g, &seeds(&g, &[0], &[]), &mut rng);
+        assert_eq!(o.infected_count(), 5);
+        assert_eq!(o.activation_hop(NodeId::new(4)), Some(4));
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn protector_weight_alone_takes_priority() {
+        // Node 2 has in-degree 2 (from rumor 0 and protector 1); with
+        // both active its total weight is 1 so it activates, and it
+        // is protected iff w_p = 0.5 >= θ.
+        let g = DiGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+        let (mut protected, mut infected) = (0, 0);
+        for s in 0..200 {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let o = CompetitiveLtModel::default().run(&g, &seeds(&g, &[0], &[1]), &mut rng);
+            match o.status(NodeId::new(2)) {
+                Status::Protected => protected += 1,
+                Status::Infected => infected += 1,
+                Status::Inactive => panic!("node 2 must activate"),
+            }
+        }
+        // θ <= 0.5 about half the time.
+        assert!((60..140).contains(&protected), "protected = {protected}");
+        assert!(protected + infected == 200);
+    }
+
+    #[test]
+    fn high_in_degree_nodes_resist_single_neighbor() {
+        // Star leaves point at the hub: hub in-degree = 5, one active
+        // leaf contributes weight 0.2, so the hub activates only when
+        // θ <= 0.2 (about 20% of runs).
+        let mut g = DiGraph::with_nodes(6);
+        for leaf in 1..6 {
+            g.add_edge(NodeId::new(leaf), NodeId::new(0)).unwrap();
+        }
+        let mut hits = 0;
+        for s in 0..500 {
+            let mut rng = SmallRng::seed_from_u64(s);
+            let o = CompetitiveLtModel::default().run(&g, &seeds(&g, &[1], &[]), &mut rng);
+            if o.status(NodeId::new(0)).is_infected() {
+                hits += 1;
+            }
+        }
+        assert!((50..160).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn no_seeds_is_quiescent() {
+        let g = generators::complete_graph(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let o = CompetitiveLtModel::default().run(&g, &seeds(&g, &[], &[]), &mut rng);
+        assert_eq!(o.infected_count(), 0);
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn hop_budget_truncates() {
+        let g = generators::path_graph(10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let o = CompetitiveLtModel::new(3).run(&g, &seeds(&g, &[0], &[]), &mut rng);
+        assert_eq!(o.infected_count(), 4);
+        assert!(!o.is_quiescent());
+    }
+
+    #[test]
+    fn model_name() {
+        assert_eq!(CompetitiveLtModel::default().name(), "competitive-lt");
+    }
+}

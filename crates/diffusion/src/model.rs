@@ -1,0 +1,34 @@
+//! The common interface implemented by every two-cascade diffusion
+//! model in this crate.
+
+use rand::Rng;
+
+use lcrb_graph::DiGraph;
+
+use crate::{DiffusionOutcome, SeedSets};
+
+/// A diffusion process in which a rumor cascade R and a protector
+/// cascade P compete on a directed graph, with P given priority on
+/// simultaneous arrival (§III of the paper).
+///
+/// Implementations must be deterministic functions of `(graph,
+/// seeds, rng stream)` so that Monte-Carlo runs are reproducible from
+/// a seed. Deterministic models (e.g. DOAM) simply ignore the RNG.
+pub trait TwoCascadeModel {
+    /// Runs one diffusion to completion (or to the model's hop
+    /// budget) and reports the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `seeds` was validated against a
+    /// different graph.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        graph: &DiGraph,
+        seeds: &SeedSets,
+        rng: &mut R,
+    ) -> DiffusionOutcome;
+
+    /// Short stable name for reports ("opoao", "doam", ...).
+    fn name(&self) -> &'static str;
+}

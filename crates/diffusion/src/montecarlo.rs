@@ -1,0 +1,439 @@
+//! Parallel Monte-Carlo driver for stochastic diffusion models.
+//!
+//! The paper's Figures 4–6 report "the average results obtained by
+//! repeated Monte Carlo simulation"; this module is that averaging
+//! loop, parallelized across threads with crossbeam's scoped threads
+//! and reproducible from a single base seed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use lcrb_graph::DiGraph;
+
+use crate::{DiffusionOutcome, SeedSets, TwoCascadeModel};
+
+/// Configuration for [`monte_carlo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MonteCarloConfig {
+    /// Number of independent simulation runs.
+    pub runs: usize,
+    /// Base seed; run `i` uses a seed derived from `(base_seed, i)`,
+    /// so results are independent of the thread count.
+    pub base_seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            runs: 100,
+            base_seed: 0,
+            threads: 0,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Per-hop averages over a batch of Monte-Carlo runs.
+///
+/// Hop series from runs of different lengths are aligned by carrying
+/// each run's final value forward (a quiescent diffusion keeps its
+/// totals), so `mean_infected_by_hop[h]` is the expected number of
+/// infected nodes after `h` hops — exactly the series plotted in the
+/// paper's figures.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AveragedOutcome {
+    /// Number of runs averaged.
+    pub runs: usize,
+    /// Expected cumulative infected count per hop (index = hop).
+    pub mean_infected_by_hop: Vec<f64>,
+    /// Expected cumulative protected count per hop (index = hop).
+    pub mean_protected_by_hop: Vec<f64>,
+    /// Sample standard deviation of the final infected count across
+    /// runs (0 for fewer than 2 runs) — the error bar on
+    /// [`AveragedOutcome::mean_final_infected`].
+    pub std_final_infected: f64,
+}
+
+impl AveragedOutcome {
+    /// Expected infected count at the end of diffusion.
+    #[must_use]
+    pub fn mean_final_infected(&self) -> f64 {
+        self.mean_infected_by_hop.last().copied().unwrap_or(0.0)
+    }
+
+    /// Expected protected count at the end of diffusion.
+    #[must_use]
+    pub fn mean_final_protected(&self) -> f64 {
+        self.mean_protected_by_hop.last().copied().unwrap_or(0.0)
+    }
+
+    /// Expected infected count after `hop` hops (final value carried
+    /// forward).
+    #[must_use]
+    pub fn mean_infected_at_hop(&self, hop: u32) -> f64 {
+        let idx = (hop as usize).min(self.mean_infected_by_hop.len().saturating_sub(1));
+        self.mean_infected_by_hop.get(idx).copied().unwrap_or(0.0)
+    }
+}
+
+#[derive(Default)]
+struct SeriesAccumulator {
+    infected: Vec<f64>,
+    protected: Vec<f64>,
+    final_sum: f64,
+    final_sumsq: f64,
+    runs: usize,
+}
+
+impl SeriesAccumulator {
+    fn add_outcome(&mut self, outcome: &DiffusionOutcome) {
+        let trace = outcome.trace();
+        let len = trace.len();
+        if len > self.infected.len() {
+            // Newly revealed hops start from the sums accumulated so
+            // far: previous runs carry their final value forward.
+            let pad_i = self.infected.last().copied().unwrap_or(0.0);
+            let pad_p = self.protected.last().copied().unwrap_or(0.0);
+            // All prior runs were flat after their last hop, so the
+            // carried-forward sum is exactly the previous tail.
+            let grow = len - self.infected.len();
+            self.infected.extend(std::iter::repeat(pad_i).take(grow));
+            self.protected.extend(std::iter::repeat(pad_p).take(grow));
+        }
+        for (h, rec) in trace.iter().enumerate() {
+            self.infected[h] += rec.total_infected as f64;
+            self.protected[h] += rec.total_protected as f64;
+        }
+        // Carry this run's final value into any longer tail.
+        let (fi, fp) = (
+            trace.last().map_or(0, |r| r.total_infected) as f64,
+            trace.last().map_or(0, |r| r.total_protected) as f64,
+        );
+        for h in len..self.infected.len() {
+            self.infected[h] += fi;
+            self.protected[h] += fp;
+        }
+        self.final_sum += fi;
+        self.final_sumsq += fi * fi;
+        self.runs += 1;
+    }
+
+    fn merge(mut self, other: SeriesAccumulator) -> SeriesAccumulator {
+        if other.infected.len() > self.infected.len() {
+            return other.merge(self);
+        }
+        // `other` is the shorter series: pad it against ours.
+        let (oi_last, op_last) = (
+            other.infected.last().copied().unwrap_or(0.0),
+            other.protected.last().copied().unwrap_or(0.0),
+        );
+        for h in 0..self.infected.len() {
+            self.infected[h] += other.infected.get(h).copied().unwrap_or(oi_last);
+            self.protected[h] += other.protected.get(h).copied().unwrap_or(op_last);
+        }
+        self.final_sum += other.final_sum;
+        self.final_sumsq += other.final_sumsq;
+        self.runs += other.runs;
+        self
+    }
+
+    fn into_average(self) -> AveragedOutcome {
+        let runs = self.runs.max(1) as f64;
+        let std_final_infected = if self.runs >= 2 {
+            let mean = self.final_sum / runs;
+            ((self.final_sumsq / runs - mean * mean).max(0.0) * runs / (runs - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        AveragedOutcome {
+            runs: self.runs,
+            mean_infected_by_hop: self.infected.iter().map(|s| s / runs).collect(),
+            mean_protected_by_hop: self.protected.iter().map(|s| s / runs).collect(),
+            std_final_infected,
+        }
+    }
+}
+
+/// Derives the per-run RNG seed so results do not depend on thread
+/// scheduling.
+#[inline]
+fn run_seed(base: u64, run: usize) -> u64 {
+    (base ^ (run as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0x243F_6A88_85A3_08D3)
+}
+
+/// Runs `config.runs` independent simulations of `model` and averages
+/// the hop series.
+///
+/// Deterministic for a fixed `config` regardless of `threads`.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_diffusion::{monte_carlo, MonteCarloConfig, OpoaoModel, SeedSets};
+/// use lcrb_graph::generators::path_graph;
+/// use lcrb_graph::NodeId;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = path_graph(4);
+/// let seeds = SeedSets::rumors_only(&g, vec![NodeId::new(0)])?;
+/// let avg = monte_carlo(&OpoaoModel::default(), &g, &seeds, &MonteCarloConfig {
+///     runs: 10,
+///     ..MonteCarloConfig::default()
+/// });
+/// assert_eq!(avg.mean_final_infected(), 4.0); // path diffusion is forced
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn monte_carlo<M>(
+    model: &M,
+    graph: &DiGraph,
+    seeds: &SeedSets,
+    config: &MonteCarloConfig,
+) -> AveragedOutcome
+where
+    M: TwoCascadeModel + Sync,
+{
+    let runs = config.runs;
+    if runs == 0 {
+        return AveragedOutcome {
+            runs: 0,
+            mean_infected_by_hop: Vec::new(),
+            mean_protected_by_hop: Vec::new(),
+            std_final_infected: 0.0,
+        };
+    }
+    let threads = config.effective_threads().min(runs).max(1);
+    if threads == 1 {
+        let mut acc = SeriesAccumulator::default();
+        for run in 0..runs {
+            let mut rng = SmallRng::seed_from_u64(run_seed(config.base_seed, run));
+            acc.add_outcome(&model.run(graph, seeds, &mut rng));
+        }
+        return acc.into_average();
+    }
+    let accumulators = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let base_seed = config.base_seed;
+            handles.push(scope.spawn(move |_| {
+                let mut acc = SeriesAccumulator::default();
+                let mut run = t;
+                while run < runs {
+                    let mut rng = SmallRng::seed_from_u64(run_seed(base_seed, run));
+                    acc.add_outcome(&model.run(graph, seeds, &mut rng));
+                    run += threads;
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("monte carlo worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope failed");
+
+    accumulators
+        .into_iter()
+        .reduce(SeriesAccumulator::merge)
+        .expect("at least one worker")
+        .into_average()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DoamModel, OpoaoModel};
+    use lcrb_graph::generators;
+    use lcrb_graph::NodeId;
+
+    fn seeds(g: &DiGraph, r: &[usize], p: &[usize]) -> SeedSets {
+        SeedSets::new(
+            g,
+            r.iter().map(|&i| NodeId::new(i)).collect(),
+            p.iter().map(|&i| NodeId::new(i)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_model_average_equals_single_run() {
+        let g = generators::path_graph(6);
+        let s = seeds(&g, &[0], &[3]);
+        let avg = monte_carlo(
+            &DoamModel::default(),
+            &g,
+            &s,
+            &MonteCarloConfig {
+                runs: 7,
+                ..Default::default()
+            },
+        );
+        let single = DoamModel::default().run_deterministic(&g, &s);
+        assert_eq!(avg.runs, 7);
+        assert_eq!(avg.mean_final_infected(), single.infected_count() as f64);
+        assert_eq!(avg.mean_final_protected(), single.protected_count() as f64);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::gnm_directed(60, 240, &mut rng).unwrap();
+        let s = seeds(&g, &[0, 1], &[2]);
+        let model = OpoaoModel::new(12);
+        let base = MonteCarloConfig {
+            runs: 24,
+            base_seed: 9,
+            threads: 1,
+        };
+        let a = monte_carlo(&model, &g, &s, &base);
+        let b = monte_carlo(
+            &model,
+            &g,
+            &s,
+            &MonteCarloConfig {
+                threads: 4,
+                ..base
+            },
+        );
+        assert_eq!(a.runs, b.runs);
+        for (x, y) in a
+            .mean_infected_by_hop
+            .iter()
+            .zip(&b.mean_infected_by_hop)
+        {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn series_is_monotone_nondecreasing() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = generators::gnm_directed(50, 200, &mut rng).unwrap();
+        let s = seeds(&g, &[0], &[1]);
+        let avg = monte_carlo(
+            &OpoaoModel::default(),
+            &g,
+            &s,
+            &MonteCarloConfig {
+                runs: 20,
+                base_seed: 3,
+                threads: 2,
+            },
+        );
+        for w in avg.mean_infected_by_hop.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        for w in avg.mean_protected_by_hop.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!(avg.mean_infected_at_hop(0) >= 1.0 - 1e-12);
+        assert_eq!(
+            avg.mean_infected_at_hop(10_000),
+            avg.mean_final_infected()
+        );
+    }
+
+    #[test]
+    fn std_of_deterministic_model_is_zero() {
+        let g = generators::path_graph(5);
+        let s = seeds(&g, &[0], &[]);
+        let avg = monte_carlo(
+            &DoamModel::default(),
+            &g,
+            &s,
+            &MonteCarloConfig {
+                runs: 6,
+                ..Default::default()
+            },
+        );
+        assert_eq!(avg.std_final_infected, 0.0);
+    }
+
+    #[test]
+    fn std_reflects_run_variability_and_is_thread_invariant() {
+        // 0 -> {1, 2}; 2 -> 3: some OPOAO runs (hop budget 1) infect
+        // node 1, others node 2 — final counts genuinely vary.
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (2, 3)]).unwrap();
+        let s = seeds(&g, &[0], &[]);
+        let model = OpoaoModel::new(2);
+        let cfg = MonteCarloConfig {
+            runs: 64,
+            base_seed: 5,
+            threads: 1,
+        };
+        let a = monte_carlo(&model, &g, &s, &cfg);
+        assert!(a.std_final_infected > 0.0);
+        let b = monte_carlo(
+            &model,
+            &g,
+            &s,
+            &MonteCarloConfig {
+                threads: 4,
+                ..cfg
+            },
+        );
+        assert!((a.std_final_infected - b.std_final_infected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_runs() {
+        let g = generators::path_graph(3);
+        let s = seeds(&g, &[0], &[]);
+        let avg = monte_carlo(
+            &OpoaoModel::default(),
+            &g,
+            &s,
+            &MonteCarloConfig {
+                runs: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(avg.runs, 0);
+        assert_eq!(avg.mean_final_infected(), 0.0);
+    }
+
+    #[test]
+    fn variable_length_traces_align_correctly() {
+        // A graph where some runs die fast (rumor picks the sink) and
+        // others spread: 0 -> {1, 2}, 2 -> 3 -> 4.
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let s = seeds(&g, &[0], &[]);
+        let avg = monte_carlo(
+            &OpoaoModel::new(20),
+            &g,
+            &s,
+            &MonteCarloConfig {
+                runs: 200,
+                base_seed: 11,
+                threads: 3,
+            },
+        );
+        // OPOAO re-selects every step, so node 0 eventually reaches
+        // both children and every run infects all 5 nodes — but runs
+        // quiesce at different hops, exercising trace alignment. The
+        // early-hop means must sit strictly between the extremes.
+        let f = avg.mean_final_infected();
+        assert!((4.99..=5.0).contains(&f), "final {f}");
+        let at_two = avg.mean_infected_at_hop(2);
+        assert!(at_two > 2.0 && at_two < 5.0, "hop-2 mean {at_two}");
+        for w in avg.mean_infected_by_hop.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+}

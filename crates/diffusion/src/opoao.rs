@@ -1,0 +1,317 @@
+//! The Opportunistic One-Activate-One (OPOAO) model of §III-A.
+//!
+//! At every step, every active node picks exactly one of its
+//! out-neighbors uniformly at random (probability `1/d_out(u)`) as
+//! its activation target; targets that are still inactive activate at
+//! the next step, with the protector cascade winning simultaneous
+//! claims. Nodes re-select every step ("repeat activation", cf. the
+//! paper's Fig. 1 where `x` re-selects `u` at step 2), so hitting an
+//! already-active neighbor wastes the step and diffusion is slow —
+//! the person-to-person contact regime the paper describes.
+
+use rand::Rng;
+
+use lcrb_graph::{DiGraph, NodeId};
+
+use crate::outcome::StateTracker;
+use crate::{DiffusionOutcome, OpoaoRealization, SeedSets, Status, TwoCascadeModel};
+
+/// Number of hops the paper simulates in Figures 4–6.
+pub const PAPER_OPOAO_HOPS: u32 = 31;
+
+/// The OPOAO model configured with a hop budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OpoaoModel {
+    /// Maximum number of diffusion hops to simulate. The run also
+    /// stops early when no active node has an inactive out-neighbor.
+    pub max_hops: u32,
+}
+
+impl Default for OpoaoModel {
+    /// Defaults to the paper's 31-hop budget.
+    fn default() -> Self {
+        OpoaoModel {
+            max_hops: PAPER_OPOAO_HOPS,
+        }
+    }
+}
+
+impl OpoaoModel {
+    /// Creates a model with the given hop budget.
+    #[must_use]
+    pub fn new(max_hops: u32) -> Self {
+        OpoaoModel { max_hops }
+    }
+
+    /// Runs the model deterministically against a pre-sampled
+    /// [`OpoaoRealization`] (common-random-numbers coupling; see
+    /// DESIGN.md §2). Two calls with the same realization and seeds
+    /// produce identical outcomes, and calls with different protector
+    /// sets share all rumor-side randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside `graph`.
+    #[must_use]
+    pub fn run_realized(
+        &self,
+        graph: &DiGraph,
+        seeds: &SeedSets,
+        realization: &OpoaoRealization,
+    ) -> DiffusionOutcome {
+        run_with_choices(graph, seeds, self.max_hops, |node, hop, degree| {
+            realization.choice(node, hop, degree)
+        })
+    }
+}
+
+impl TwoCascadeModel for OpoaoModel {
+    fn run<R: Rng + ?Sized>(
+        &self,
+        graph: &DiGraph,
+        seeds: &SeedSets,
+        rng: &mut R,
+    ) -> DiffusionOutcome {
+        run_with_choices(graph, seeds, self.max_hops, |_, _, degree| {
+            rng.gen_range(0..degree)
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "opoao"
+    }
+}
+
+/// The shared OPOAO engine: `choose(node, hop, out_degree)` returns
+/// the index of the out-neighbor targeted by `node` at `hop`.
+fn run_with_choices<F>(
+    graph: &DiGraph,
+    seeds: &SeedSets,
+    max_hops: u32,
+    mut choose: F,
+) -> DiffusionOutcome
+where
+    F: FnMut(NodeId, u32, usize) -> usize,
+{
+    let n = graph.node_count();
+    let mut tracker = StateTracker::from_seeds(n, seeds);
+
+    // inactive_out[u] = number of inactive out-neighbors of u. A node
+    // with zero can never cause another activation and retires from
+    // the live set.
+    let mut inactive_out: Vec<u32> = (0..n)
+        .map(|i| graph.out_degree(NodeId::new(i)) as u32)
+        .collect();
+    let retire = |w: NodeId, inactive_out: &mut Vec<u32>| {
+        for &u in graph.in_neighbors(w) {
+            inactive_out[u.index()] -= 1;
+        }
+    };
+    for &s in seeds.rumors().iter().chain(seeds.protectors()) {
+        retire(s, &mut inactive_out);
+    }
+
+    let mut live: Vec<NodeId> = seeds
+        .rumors()
+        .iter()
+        .chain(seeds.protectors())
+        .copied()
+        .filter(|&v| graph.out_degree(v) > 0)
+        .collect();
+
+    // Claim staging: 0 = unclaimed, 1 = claimed by R, 2 = claimed by P.
+    let mut claim: Vec<u8> = vec![0; n];
+    let mut claimed: Vec<NodeId> = Vec::new();
+    let mut quiescent = false;
+
+    for hop in 1..=max_hops {
+        live.retain(|&u| inactive_out[u.index()] > 0);
+        if live.is_empty() {
+            quiescent = true;
+            break;
+        }
+        claimed.clear();
+        for &u in &live {
+            let degree = graph.out_degree(u);
+            let idx = choose(u, hop, degree);
+            debug_assert!(idx < degree, "choice index out of range");
+            let target = graph.out_neighbors(u)[idx];
+            if !tracker.is_inactive(target) {
+                continue;
+            }
+            let cascade = if tracker.status[u.index()] == Status::Protected {
+                2
+            } else {
+                1
+            };
+            let slot = &mut claim[target.index()];
+            if *slot == 0 {
+                claimed.push(target);
+            }
+            // Protector priority: P (2) overrides R (1).
+            *slot = (*slot).max(cascade);
+        }
+        let mut new_protected = Vec::new();
+        let mut new_infected = Vec::new();
+        for &w in &claimed {
+            let slot = claim[w.index()];
+            claim[w.index()] = 0;
+            if slot == 2 {
+                new_protected.push(w);
+            } else {
+                new_infected.push(w);
+            }
+            retire(w, &mut inactive_out);
+            if graph.out_degree(w) > 0 {
+                live.push(w);
+            }
+        }
+        tracker.activate_hop(hop, &new_protected, &new_infected);
+    }
+    tracker.finish(quiescent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn single_out_neighbor_chain_is_deterministic() {
+        // On a path, each node has exactly one out-neighbor, so the
+        // "random" choice is forced and the rumor walks the path.
+        let g = lcrb_graph::generators::path_graph(5);
+        let seeds = SeedSets::rumors_only(&g, vec![NodeId::new(0)]).unwrap();
+        let o = OpoaoModel::new(10).run(&g, &seeds, &mut rng(0));
+        assert_eq!(o.infected_count(), 5);
+        for i in 0..5 {
+            assert_eq!(o.activation_hop(NodeId::new(i)), Some(i as u32));
+        }
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn protector_priority_on_simultaneous_claim() {
+        // 0 (rumor) -> 2 <- 1 (protector): both claim node 2 at hop 1.
+        let g = lcrb_graph::DiGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
+        let seeds =
+            SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(1)]).unwrap();
+        for seed in 0..20 {
+            let o = OpoaoModel::new(5).run(&g, &seeds, &mut rng(seed));
+            assert_eq!(o.status(NodeId::new(2)), Status::Protected);
+            assert_eq!(o.activation_hop(NodeId::new(2)), Some(1));
+        }
+    }
+
+    #[test]
+    fn protector_blocks_downstream_chain() {
+        // rumor 0 -> 1 -> 2 -> 3, protector at 2 already: 3 should be
+        // protected... no wait, 2 is a *seed*, so only 1 can be
+        // infected and 3 stays for P to claim.
+        let g = lcrb_graph::generators::path_graph(4);
+        let seeds =
+            SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(2)]).unwrap();
+        let o = OpoaoModel::new(10).run(&g, &seeds, &mut rng(1));
+        assert_eq!(o.status(NodeId::new(1)), Status::Infected);
+        assert_eq!(o.status(NodeId::new(3)), Status::Protected);
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn hop_budget_truncates() {
+        let g = lcrb_graph::generators::path_graph(10);
+        let seeds = SeedSets::rumors_only(&g, vec![NodeId::new(0)]).unwrap();
+        let o = OpoaoModel::new(3).run(&g, &seeds, &mut rng(2));
+        assert_eq!(o.infected_count(), 4); // seed + 3 hops
+        assert!(!o.is_quiescent());
+    }
+
+    #[test]
+    fn no_seeds_is_immediately_quiescent() {
+        let g = lcrb_graph::generators::path_graph(4);
+        let seeds = SeedSets::new(&g, vec![], vec![]).unwrap();
+        let o = OpoaoModel::default().run(&g, &seeds, &mut rng(3));
+        assert_eq!(o.infected_count(), 0);
+        assert_eq!(o.protected_count(), 0);
+        assert!(o.is_quiescent());
+        assert_eq!(o.trace().len(), 1);
+    }
+
+    #[test]
+    fn sink_seed_cannot_spread() {
+        let g = lcrb_graph::DiGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let seeds = SeedSets::rumors_only(&g, vec![NodeId::new(2)]).unwrap();
+        let o = OpoaoModel::default().run(&g, &seeds, &mut rng(4));
+        assert_eq!(o.infected_count(), 1);
+        assert!(o.is_quiescent());
+    }
+
+    #[test]
+    fn statuses_are_progressive_and_consistent_with_hops() {
+        let mut r = rng(5);
+        let g = lcrb_graph::generators::gnm_directed(60, 240, &mut r).unwrap();
+        let seeds = SeedSets::new(
+            &g,
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![NodeId::new(2)],
+        )
+        .unwrap();
+        let o = OpoaoModel::default().run(&g, &seeds, &mut r);
+        for v in g.nodes() {
+            match o.status(v) {
+                Status::Inactive => assert_eq!(o.activation_hop(v), None),
+                _ => assert!(o.activation_hop(v).is_some()),
+            }
+        }
+        // Trace totals are monotone.
+        let t = o.trace();
+        for w in t.windows(2) {
+            assert!(w[1].total_infected >= w[0].total_infected);
+            assert!(w[1].total_protected >= w[0].total_protected);
+        }
+    }
+
+    #[test]
+    fn realized_runs_are_reproducible() {
+        let mut r = rng(6);
+        let g = lcrb_graph::generators::gnm_directed(40, 160, &mut r).unwrap();
+        let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(1)]).unwrap();
+        let real = OpoaoRealization::new(77);
+        let model = OpoaoModel::default();
+        let a = model.run_realized(&g, &seeds, &real);
+        let b = model.run_realized(&g, &seeds, &real);
+        assert_eq!(a.statuses(), b.statuses());
+        assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn different_realizations_usually_differ() {
+        let mut r = rng(7);
+        let g = lcrb_graph::generators::gnm_directed(40, 200, &mut r).unwrap();
+        let seeds = SeedSets::rumors_only(&g, vec![NodeId::new(0)]).unwrap();
+        let model = OpoaoModel::new(8);
+        let outcomes: Vec<usize> = (0..10)
+            .map(|s| {
+                model
+                    .run_realized(&g, &seeds, &OpoaoRealization::new(s))
+                    .infected_count()
+            })
+            .collect();
+        assert!(
+            outcomes.iter().any(|&c| c != outcomes[0]),
+            "all 10 realizations gave {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn model_name() {
+        assert_eq!(OpoaoModel::default().name(), "opoao");
+        assert_eq!(OpoaoModel::default().max_hops, 31);
+    }
+}

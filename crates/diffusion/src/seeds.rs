@@ -1,0 +1,220 @@
+//! Seed-set handling for the two competing cascades.
+
+use core::fmt;
+
+use lcrb_graph::{DiGraph, NodeId};
+
+/// Errors produced when validating seed sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeedError {
+    /// A seed id referred to a node outside the graph.
+    OutOfBounds {
+        /// The offending node.
+        node: NodeId,
+        /// Node count of the graph.
+        node_count: usize,
+    },
+    /// A node appeared in both the rumor and protector seed sets;
+    /// the paper requires the initial sets to be disjoint (§III).
+    Overlap {
+        /// The node present in both sets.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for SeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeedError::OutOfBounds { node, node_count } => write!(
+                f,
+                "seed {node} is out of bounds for a graph with {node_count} nodes"
+            ),
+            SeedError::Overlap { node } => {
+                write!(f, "node {node} appears in both seed sets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+/// The two disjoint initial sets of §III: rumor originators `S_R`
+/// and protector originators `S_P`.
+///
+/// Construction validates that every seed is a node of the target
+/// graph, deduplicates within each set (preserving first-appearance
+/// order), and rejects overlap between the sets.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_diffusion::SeedSets;
+/// use lcrb_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(2)])?;
+/// assert_eq!(seeds.rumors(), &[NodeId::new(0)]);
+/// assert_eq!(seeds.protectors(), &[NodeId::new(2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SeedSets {
+    rumors: Vec<NodeId>,
+    protectors: Vec<NodeId>,
+}
+
+fn dedup_in_order(nodes: Vec<NodeId>, node_count: usize) -> Result<Vec<NodeId>, SeedError> {
+    let mut seen = vec![false; node_count];
+    let mut out = Vec::with_capacity(nodes.len());
+    for v in nodes {
+        if v.index() >= node_count {
+            return Err(SeedError::OutOfBounds {
+                node: v,
+                node_count,
+            });
+        }
+        if !seen[v.index()] {
+            seen[v.index()] = true;
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+impl SeedSets {
+    /// Validates and builds a seed-set pair for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeedError::OutOfBounds`] for unknown nodes and
+    /// [`SeedError::Overlap`] if the two sets intersect.
+    pub fn new(
+        graph: &DiGraph,
+        rumors: Vec<NodeId>,
+        protectors: Vec<NodeId>,
+    ) -> Result<Self, SeedError> {
+        let n = graph.node_count();
+        let rumors = dedup_in_order(rumors, n)?;
+        let protectors = dedup_in_order(protectors, n)?;
+        let mut is_rumor = vec![false; n];
+        for &r in &rumors {
+            is_rumor[r.index()] = true;
+        }
+        if let Some(&p) = protectors.iter().find(|p| is_rumor[p.index()]) {
+            return Err(SeedError::Overlap { node: p });
+        }
+        Ok(SeedSets { rumors, protectors })
+    }
+
+    /// A seed set with rumors only (the paper's "NoBlocking"
+    /// baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeedError::OutOfBounds`] for unknown nodes.
+    pub fn rumors_only(graph: &DiGraph, rumors: Vec<NodeId>) -> Result<Self, SeedError> {
+        SeedSets::new(graph, rumors, Vec::new())
+    }
+
+    /// Rebuilds this seed pair with a different protector set,
+    /// keeping the rumors.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SeedSets::new`].
+    pub fn with_protectors(
+        &self,
+        graph: &DiGraph,
+        protectors: Vec<NodeId>,
+    ) -> Result<Self, SeedError> {
+        SeedSets::new(graph, self.rumors.clone(), protectors)
+    }
+
+    /// The rumor originators `S_R`, deduplicated.
+    #[inline]
+    #[must_use]
+    pub fn rumors(&self) -> &[NodeId] {
+        &self.rumors
+    }
+
+    /// The protector originators `S_P`, deduplicated.
+    #[inline]
+    #[must_use]
+    pub fn protectors(&self) -> &[NodeId] {
+        &self.protectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> DiGraph {
+        DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn valid_seed_sets() {
+        let g = graph();
+        let s = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(3)]).unwrap();
+        assert_eq!(s.rumors().len(), 1);
+        assert_eq!(s.protectors().len(), 1);
+    }
+
+    #[test]
+    fn duplicates_within_a_set_are_collapsed() {
+        let g = graph();
+        let s = SeedSets::new(
+            &g,
+            vec![NodeId::new(0), NodeId::new(0), NodeId::new(1)],
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(s.rumors(), &[NodeId::new(0), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn overlap_is_rejected() {
+        let g = graph();
+        let err =
+            SeedSets::new(&g, vec![NodeId::new(1)], vec![NodeId::new(1)]).unwrap_err();
+        assert_eq!(
+            err,
+            SeedError::Overlap {
+                node: NodeId::new(1)
+            }
+        );
+        assert!(err.to_string().contains("both seed sets"));
+    }
+
+    #[test]
+    fn out_of_bounds_is_rejected() {
+        let g = graph();
+        let err = SeedSets::new(&g, vec![NodeId::new(9)], vec![]).unwrap_err();
+        assert!(matches!(err, SeedError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn with_protectors_replaces_only_protectors() {
+        let g = graph();
+        let s = SeedSets::rumors_only(&g, vec![NodeId::new(0)]).unwrap();
+        assert!(s.protectors().is_empty());
+        let s2 = s.with_protectors(&g, vec![NodeId::new(4)]).unwrap();
+        assert_eq!(s2.rumors(), s.rumors());
+        assert_eq!(s2.protectors(), &[NodeId::new(4)]);
+        // Replacing with an overlapping set fails.
+        assert!(s.with_protectors(&g, vec![NodeId::new(0)]).is_err());
+    }
+
+    #[test]
+    fn empty_seed_sets_are_allowed() {
+        let g = graph();
+        let s = SeedSets::new(&g, vec![], vec![]).unwrap();
+        assert!(s.rumors().is_empty());
+        assert!(s.protectors().is_empty());
+    }
+}

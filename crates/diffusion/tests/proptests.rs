@@ -1,0 +1,209 @@
+//! Property-based tests for the diffusion engine.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use lcrb_diffusion::{
+    doam_analytic, doam_safe_targets, monte_carlo, CompetitiveIcModel, CompetitiveLtModel,
+    CompetitiveSisModel, DoamModel, IcRealization, MonteCarloConfig, OpoaoModel,
+    OpoaoRealization, SeedSets, SisState, Status, TwoCascadeModel,
+};
+use lcrb_graph::{DiGraph, NodeId};
+
+/// Strategy: a random graph plus disjoint rumor/protector seeds.
+fn arb_instance() -> impl Strategy<Value = (DiGraph, SeedSets)> {
+    (3usize..30).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n, 0..n), 0..(4 * n)),
+            proptest::collection::btree_set(0..n, 1..4),
+            proptest::collection::btree_set(0..n, 0..4),
+        )
+            .prop_map(move |(pairs, rumors, protectors)| {
+                let mut g = DiGraph::with_nodes(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        let _ = g.add_edge(NodeId::new(u), NodeId::new(v));
+                    }
+                }
+                let rumors: Vec<NodeId> = rumors.into_iter().map(NodeId::new).collect();
+                let protectors: Vec<NodeId> = protectors
+                    .into_iter()
+                    .filter(|p| !rumors.iter().any(|r| r.index() == *p))
+                    .map(NodeId::new)
+                    .collect();
+                let seeds = SeedSets::new(&g, rumors, protectors).expect("valid by construction");
+                (g, seeds)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn doam_simulator_matches_analytic_oracle((g, seeds) in arb_instance()) {
+        let sim = DoamModel::default().run_deterministic(&g, &seeds);
+        let ana = doam_analytic(&g, &seeds);
+        prop_assert_eq!(sim.statuses(), ana.statuses());
+        for v in g.nodes() {
+            prop_assert_eq!(sim.activation_hop(v), ana.activation_hop(v));
+        }
+        prop_assert_eq!(sim.trace(), ana.trace());
+    }
+
+    #[test]
+    fn doam_safe_targets_agree_with_statuses((g, seeds) in arb_instance()) {
+        let outcome = doam_analytic(&g, &seeds);
+        let targets: Vec<NodeId> = g.nodes().collect();
+        let safe = doam_safe_targets(&g, &seeds, &targets);
+        for (v, &is_safe) in targets.iter().zip(&safe) {
+            prop_assert_eq!(is_safe, !outcome.status(*v).is_infected());
+        }
+    }
+
+    #[test]
+    fn seeds_keep_their_status_under_every_model((g, seeds) in arb_instance(), seed in 0u64..64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let models: Vec<Box<dyn Fn(&mut SmallRng) -> lcrb_diffusion::DiffusionOutcome>> = vec![
+            Box::new(|r| OpoaoModel::default().run(&g, &seeds, r)),
+            Box::new(|r| DoamModel::default().run(&g, &seeds, r)),
+            Box::new(|r| CompetitiveIcModel::new(0.4).unwrap().run(&g, &seeds, r)),
+            Box::new(|r| CompetitiveLtModel::default().run(&g, &seeds, r)),
+        ];
+        for run in models {
+            let o = run(&mut rng);
+            for &r in seeds.rumors() {
+                prop_assert_eq!(o.status(r), Status::Infected);
+                prop_assert_eq!(o.activation_hop(r), Some(0));
+            }
+            for &p in seeds.protectors() {
+                prop_assert_eq!(o.status(p), Status::Protected);
+            }
+            // Trace totals are consistent with statuses.
+            let infected = o.statuses().iter().filter(|s| s.is_infected()).count();
+            let protected = o.statuses().iter().filter(|s| s.is_protected()).count();
+            prop_assert_eq!(infected, o.infected_count());
+            prop_assert_eq!(protected, o.protected_count());
+            // Active nodes have hops, inactive do not.
+            for v in g.nodes() {
+                prop_assert_eq!(o.status(v).is_active(), o.activation_hop(v).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn activation_hops_respect_edge_granularity((g, seeds) in arb_instance(), seed in 0u64..32) {
+        // In every model, a node activated at hop t > 0 has an
+        // in-neighbor activated strictly earlier.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let o = OpoaoModel::default().run(&g, &seeds, &mut rng);
+        for v in g.nodes() {
+            if let Some(t) = o.activation_hop(v) {
+                if t > 0 {
+                    let ok = g
+                        .in_neighbors(v)
+                        .iter()
+                        .any(|&u| o.activation_hop(u).is_some_and(|tu| tu < t));
+                    prop_assert!(ok, "node {v} activated at {t} without earlier in-neighbor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn realized_opoao_is_deterministic((g, seeds) in arb_instance(), rseed in 0u64..256) {
+        let model = OpoaoModel::default();
+        let real = OpoaoRealization::new(rseed);
+        let a = model.run_realized(&g, &seeds, &real);
+        let b = model.run_realized(&g, &seeds, &real);
+        prop_assert_eq!(a.statuses(), b.statuses());
+        prop_assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn adding_protectors_never_hurts_under_doam((g, seeds) in arb_instance(), extra in 0usize..30) {
+        // DOAM protection is monotone in the protector set.
+        let extra = NodeId::new(extra % g.node_count());
+        if seeds.rumors().contains(&extra) {
+            return Ok(());
+        }
+        let mut protectors = seeds.protectors().to_vec();
+        protectors.push(extra);
+        let bigger = seeds.with_protectors(&g, protectors).unwrap();
+        let base = doam_analytic(&g, &seeds);
+        let more = doam_analytic(&g, &bigger);
+        prop_assert!(more.infected_count() <= base.infected_count());
+        // Every node protected before stays protected.
+        for v in g.nodes() {
+            if base.status(v).is_protected() {
+                prop_assert!(more.status(v).is_protected(), "node {v} lost protection");
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_is_thread_invariant((g, seeds) in arb_instance()) {
+        let model = OpoaoModel::new(10);
+        let a = monte_carlo(&model, &g, &seeds, &MonteCarloConfig { runs: 8, base_seed: 4, threads: 1 });
+        let b = monte_carlo(&model, &g, &seeds, &MonteCarloConfig { runs: 8, base_seed: 4, threads: 3 });
+        prop_assert_eq!(a.runs, b.runs);
+        prop_assert_eq!(a.mean_infected_by_hop.len(), b.mean_infected_by_hop.len());
+        for (x, y) in a.mean_infected_by_hop.iter().zip(&b.mean_infected_by_hop) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ic_realized_runs_are_deterministic_and_monotone((g, seeds) in arb_instance(), rseed in 0u64..128) {
+        let model = CompetitiveIcModel::new(0.45).unwrap();
+        let real = IcRealization::new(rseed);
+        let a = model.run_realized(&g, &seeds, &real);
+        let b = model.run_realized(&g, &seeds, &real);
+        prop_assert_eq!(a.statuses(), b.statuses());
+        // Adding a protector never creates an infection under the
+        // live-edge coupling.
+        let extra = g
+            .nodes()
+            .find(|v| !seeds.rumors().contains(v) && !seeds.protectors().contains(v));
+        if let Some(extra) = extra {
+            let mut protectors = seeds.protectors().to_vec();
+            protectors.push(extra);
+            let bigger = seeds.with_protectors(&g, protectors).unwrap();
+            let more = model.run_realized(&g, &bigger, &real);
+            for v in g.nodes() {
+                if more.status(v).is_infected() {
+                    prop_assert!(a.status(v).is_infected(), "node {v} newly infected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sis_trace_is_conserved_and_seeded_correctly((g, seeds) in arb_instance(), seed in 0u64..64) {
+        let model = CompetitiveSisModel::new(0.3, 0.3, 0.2, 15).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let o = model.run(&g, &seeds, &mut rng);
+        prop_assert_eq!(o.trace.len(), 16);
+        prop_assert_eq!(o.trace[0].infected, seeds.rumors().len());
+        prop_assert_eq!(o.trace[0].protected, seeds.protectors().len());
+        let n = g.node_count();
+        for r in &o.trace {
+            prop_assert!(r.infected + r.protected <= n);
+        }
+        // Final states match the final trace record.
+        let fi = o.final_states.iter().filter(|&&s| s == SisState::Infected).count();
+        let fp = o.final_states.iter().filter(|&&s| s == SisState::Protected).count();
+        prop_assert_eq!(fi, o.final_infected());
+        prop_assert_eq!(fp, o.final_protected());
+    }
+
+    #[test]
+    fn sis_is_deterministic_for_fixed_rng_seed((g, seeds) in arb_instance(), seed in 0u64..64) {
+        let model = CompetitiveSisModel::new(0.25, 0.35, 0.15, 12).unwrap();
+        let mut r1 = SmallRng::seed_from_u64(seed);
+        let mut r2 = SmallRng::seed_from_u64(seed);
+        let a = model.run(&g, &seeds, &mut r1);
+        let b = model.run(&g, &seeds, &mut r2);
+        prop_assert_eq!(a.final_states, b.final_states);
+        prop_assert_eq!(a.trace, b.trace);
+    }
+}

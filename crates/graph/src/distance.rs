@@ -1,0 +1,136 @@
+//! Distance-based network measures: eccentricity, pseudo-diameter,
+//! and closeness — used for dataset characterization and for the
+//! rumor-source-detection extension in the `lcrb` crate (Jordan
+//! centers are eccentricity minimizers).
+
+use crate::traversal::{bfs_distances, reverse_bfs_distances};
+use crate::{DiGraph, NodeId};
+
+/// Forward eccentricity of `node`: the greatest finite hop distance
+/// from `node` to any reachable node; `None` if `node` reaches no one
+/// but itself.
+///
+/// # Panics
+///
+/// Panics if `node` is not in the graph.
+#[must_use]
+pub fn eccentricity(g: &DiGraph, node: NodeId) -> Option<u32> {
+    bfs_distances(g, &[node])
+        .into_iter()
+        .flatten()
+        .filter(|&d| d > 0)
+        .max()
+}
+
+/// Lower bound on the directed diameter by the double-sweep
+/// heuristic: BFS from `start`, then BFS from the farthest node
+/// found. Exact on trees; a good, cheap bound on general graphs.
+/// Returns `None` when `start` reaches nothing.
+///
+/// # Panics
+///
+/// Panics if `start` is not in the graph.
+#[must_use]
+pub fn pseudo_diameter(g: &DiGraph, start: NodeId) -> Option<u32> {
+    let first = bfs_distances(g, &[start]);
+    let (far, d1) = first
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.map(|d| (i, d)))
+        .max_by_key(|&(_, d)| d)?;
+    if d1 == 0 {
+        return None;
+    }
+    let second = bfs_distances(g, &[NodeId::new(far)]);
+    let d2 = second.into_iter().flatten().max().unwrap_or(0);
+    Some(d1.max(d2))
+}
+
+/// Harmonic closeness centrality of `node` over *incoming* distances
+/// (how quickly the rest of the network reaches it): `Σ 1/d(u, v)`
+/// over all `u != v`, normalized by `n - 1`. Harmonic closeness is
+/// robust to disconnected graphs (unreachable pairs contribute 0).
+///
+/// Returns 0 for graphs with fewer than 2 nodes.
+///
+/// # Panics
+///
+/// Panics if `node` is not in the graph.
+#[must_use]
+pub fn harmonic_closeness_in(g: &DiGraph, node: NodeId) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    let dist = reverse_bfs_distances(g, &[node]);
+    let sum: f64 = dist
+        .into_iter()
+        .flatten()
+        .filter(|&d| d > 0)
+        .map(|d| 1.0 / f64::from(d))
+        .sum();
+    sum / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, path_graph, star_graph};
+
+    #[test]
+    fn path_eccentricities() {
+        let g = path_graph(5);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId::new(3)), Some(1));
+        assert_eq!(eccentricity(&g, NodeId::new(4)), None); // sink
+    }
+
+    #[test]
+    fn pseudo_diameter_on_path_and_cycle() {
+        // On a directed path the sweep cannot walk backwards: the
+        // bound from an interior start is only what that start sees.
+        let g = path_graph(6);
+        assert_eq!(pseudo_diameter(&g, NodeId::new(0)), Some(5));
+        assert_eq!(pseudo_diameter(&g, NodeId::new(2)), Some(3));
+        // On strongly connected graphs the double sweep is exact.
+        let c = cycle_graph(8);
+        assert_eq!(pseudo_diameter(&c, NodeId::new(0)), Some(7));
+        let k = complete_graph(4);
+        assert_eq!(pseudo_diameter(&k, NodeId::new(0)), Some(1));
+        // And on symmetrized trees.
+        let t = path_graph(6).symmetrized();
+        assert_eq!(pseudo_diameter(&t, NodeId::new(2)), Some(5));
+    }
+
+    #[test]
+    fn pseudo_diameter_none_for_isolated_start() {
+        let g = DiGraph::with_nodes(3);
+        assert_eq!(pseudo_diameter(&g, NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn closeness_of_star_hub() {
+        let g = star_graph(5); // symmetric star
+        let hub = harmonic_closeness_in(&g, NodeId::new(0));
+        let leaf = harmonic_closeness_in(&g, NodeId::new(1));
+        // Hub: all 4 leaves at distance 1 -> 4/4 = 1.0.
+        assert!((hub - 1.0).abs() < 1e-12);
+        // Leaf: hub at 1, other 3 leaves at 2 -> (1 + 3*0.5)/4 = 0.625.
+        assert!((leaf - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_degenerate_graphs() {
+        assert_eq!(harmonic_closeness_in(&DiGraph::with_nodes(1), NodeId::new(0)), 0.0);
+        let g = DiGraph::with_nodes(3);
+        assert_eq!(harmonic_closeness_in(&g, NodeId::new(1)), 0.0);
+    }
+
+    #[test]
+    fn closeness_uses_incoming_direction() {
+        // 0 -> 1: node 1 is reachable (closeness > 0), node 0 is not.
+        let g = DiGraph::from_edges(2, [(0, 1)]).unwrap();
+        assert!(harmonic_closeness_in(&g, NodeId::new(1)) > 0.0);
+        assert_eq!(harmonic_closeness_in(&g, NodeId::new(0)), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for graph construction and parsing.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Errors produced when building or mutating a [`DiGraph`](crate::DiGraph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referred to a node id outside the graph.
+    NodeOutOfBounds {
+        /// The offending node id.
+        node: NodeId,
+        /// The number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; the diffusion models in this
+    /// workspace give self-loops no semantics, so the graph type
+    /// rejects them outright.
+    SelfLoop {
+        /// The node that would have looped onto itself.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, node_count } => write!(
+                f,
+                "node {node} is out of bounds for a graph with {node_count} nodes"
+            ),
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Errors produced when parsing an edge-list file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseEdgeListError {
+    /// An underlying I/O failure while reading.
+    Io(std::io::Error),
+    /// A non-comment line did not contain at least two whitespace
+    /// separated tokens.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line contents.
+        contents: String,
+    },
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEdgeListError::Io(e) => write!(f, "i/o error while reading edge list: {e}"),
+            ParseEdgeListError::MalformedLine { line, contents } => {
+                write!(f, "malformed edge-list line {line}: {contents:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseEdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseEdgeListError::Io(e) => Some(e),
+            ParseEdgeListError::MalformedLine { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseEdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        ParseEdgeListError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfBounds {
+            node: NodeId::new(9),
+            node_count: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "node 9 is out of bounds for a graph with 4 nodes"
+        );
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(2),
+        };
+        assert_eq!(e.to_string(), "self-loop on node 2 is not allowed");
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<ParseEdgeListError>();
+    }
+
+    #[test]
+    fn parse_error_from_io() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e = ParseEdgeListError::from(io);
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn malformed_line_display() {
+        let e = ParseEdgeListError::MalformedLine {
+            line: 3,
+            contents: "just-one-token".to_owned(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Edge-list I/O in the SNAP-style text format used by the paper's
+//! datasets (Enron email, Hep collaboration).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{DiGraph, NodeId, ParseEdgeListError};
+
+/// The result of parsing an edge list: the graph plus bookkeeping
+/// about the original labels and any rows that were dropped.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The parsed graph with dense ids in first-appearance order.
+    pub graph: DiGraph,
+    /// `labels[i]` is the original token of node `i` in the file.
+    pub labels: Vec<String>,
+    /// Number of `(v, v)` rows dropped.
+    pub skipped_self_loops: usize,
+    /// Number of repeated rows dropped.
+    pub skipped_duplicates: usize,
+}
+
+impl LoadedGraph {
+    /// Looks up the dense id assigned to an original label.
+    #[must_use]
+    pub fn id_of(&self, label: &str) -> Option<NodeId> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::new)
+    }
+}
+
+/// Reads a whitespace-separated edge list.
+///
+/// Lines starting with `#` or `%` (after trimming) and blank lines
+/// are ignored. Each remaining line must hold at least two tokens
+/// `source target`; extra tokens (e.g. weights or timestamps) are
+/// ignored. Node labels are arbitrary strings mapped to dense ids in
+/// first-appearance order. Self-loops and duplicate edges are dropped
+/// and counted, matching how the paper's datasets are normally
+/// cleaned.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError::Io`] on read failures and
+/// [`ParseEdgeListError::MalformedLine`] for a non-comment line with
+/// fewer than two tokens.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_graph::io::read_edge_list;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "# a comment\n0 1\n1 2\n";
+/// let loaded = read_edge_list(text.as_bytes())?;
+/// assert_eq!(loaded.graph.node_count(), 3);
+/// assert_eq!(loaded.graph.edge_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, ParseEdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut skipped_self_loops = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (tokens.next(), tokens.next()) else {
+            return Err(ParseEdgeListError::MalformedLine {
+                line: lineno + 1,
+                contents: line.clone(),
+            });
+        };
+        let mut intern = |tok: &str| -> NodeId {
+            if let Some(&id) = ids.get(tok) {
+                id
+            } else {
+                let id = NodeId::new(labels.len());
+                ids.insert(tok.to_owned(), id);
+                labels.push(tok.to_owned());
+                id
+            }
+        };
+        let u = intern(a);
+        let v = intern(b);
+        if u == v {
+            skipped_self_loops += 1;
+        } else {
+            edges.push((u, v));
+        }
+    }
+
+    let mut graph = DiGraph::with_nodes(labels.len());
+    let mut skipped_duplicates = 0usize;
+    for (u, v) in edges {
+        match graph.add_edge(u, v) {
+            Ok(true) => {}
+            Ok(false) => skipped_duplicates += 1,
+            Err(e) => unreachable!("interned ids are always in bounds: {e}"),
+        }
+    }
+    Ok(LoadedGraph {
+        graph,
+        labels,
+        skipped_self_loops,
+        skipped_duplicates,
+    })
+}
+
+/// Writes the graph as a `source target` edge list with a header
+/// comment, readable back via [`read_edge_list`].
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_edge_list<W: Write>(graph: &DiGraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(
+        writer,
+        "# directed edge list: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u}\t{v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_blanks_and_extra_tokens() {
+        let text = "# comment\n% other comment\n\n a b 0.5\nb c\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.node_count(), 3);
+        assert_eq!(loaded.graph.edge_count(), 2);
+        assert_eq!(loaded.labels, vec!["a", "b", "c"]);
+        assert_eq!(loaded.id_of("b"), Some(NodeId::new(1)));
+        assert_eq!(loaded.id_of("zzz"), None);
+    }
+
+    #[test]
+    fn ids_follow_first_appearance() {
+        let loaded = read_edge_list("5 3\n3 9\n".as_bytes()).unwrap();
+        assert_eq!(loaded.labels, vec!["5", "3", "9"]);
+        assert!(loaded
+            .graph
+            .has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_are_counted() {
+        let loaded = read_edge_list("a a\na b\na b\nb a\n".as_bytes()).unwrap();
+        assert_eq!(loaded.skipped_self_loops, 1);
+        assert_eq!(loaded.skipped_duplicates, 1);
+        assert_eq!(loaded.graph.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_position() {
+        let err = read_edge_list("a b\nonly-one\n".as_bytes()).unwrap_err();
+        match err {
+            ParseEdgeListError::MalformedLine { line, contents } => {
+                assert_eq!(line, 2);
+                assert_eq!(contents, "only-one");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(loaded.graph.node_count(), 4);
+        assert_eq!(loaded.graph.edge_count(), 5);
+        assert_eq!(loaded.skipped_duplicates, 0);
+        for (u, v) in g.edges() {
+            // Labels are the decimal ids, so the mapping is identity.
+            assert!(loaded.graph.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let loaded = read_edge_list("".as_bytes()).unwrap();
+        assert!(loaded.graph.is_empty());
+        assert!(loaded.labels.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Node identifiers.
+
+use core::fmt;
+
+/// A compact identifier for a node in a [`DiGraph`](crate::DiGraph).
+///
+/// Node ids are dense: a graph with `n` nodes uses exactly the ids
+/// `0..n`, in insertion order. The id is a thin wrapper around `u32`
+/// (social graphs in this reproduction have well under four billion
+/// nodes), which keeps adjacency lists and BFS queues compact.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_graph::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        assert!(
+            u32::try_from(index).is_ok(),
+            "node index {index} exceeds u32::MAX"
+        );
+        NodeId(index as u32)
+    }
+
+    /// Creates a node id directly from its raw `u32` representation.
+    #[inline]
+    #[must_use]
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the id as a `usize` index, suitable for indexing
+    /// per-node arrays.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` representation.
+    #[inline]
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl From<NodeId> for usize {
+    #[inline]
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(raw: u32) -> NodeId {
+        NodeId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index_round_trip() {
+        for i in [0usize, 1, 17, 65_536, u32::MAX as usize] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn new_rejects_oversized_index() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn raw_conversions() {
+        let v = NodeId::from_raw(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(NodeId::from(42u32), v);
+        assert_eq!(usize::from(v), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(5));
+        assert_eq!(NodeId::new(9), NodeId::new(9));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "NodeId(3)");
+        assert_eq!(format!("{}", NodeId::new(3)), "3");
+    }
+}

@@ -1,0 +1,276 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use lcrb_graph::components::{
+    strongly_connected_components, weakly_connected_labels,
+};
+use lcrb_graph::distance::{eccentricity, harmonic_closeness_in};
+use lcrb_graph::generators;
+use lcrb_graph::kcore::core_decomposition;
+use lcrb_graph::pagerank::{pagerank, PageRankConfig};
+use lcrb_graph::traversal::{
+    bfs_distances, relax_with_source, reverse_bfs_distances, is_reachable,
+};
+use lcrb_graph::{DiGraph, NodeId, UnionFind};
+
+/// Strategy: a random directed graph as (node count, edge pairs).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 0..max_m).prop_map(move |pairs| {
+            let mut g = DiGraph::with_nodes(n);
+            for (u, v) in pairs {
+                if u != v {
+                    let _ = g.add_edge(NodeId::new(u), NodeId::new(v));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn bfs_distances_satisfy_edge_relaxation(g in arb_graph(40, 160), src in 0usize..40) {
+        let src = src % g.node_count();
+        let d = bfs_distances(&g, &[NodeId::new(src)]);
+        // Every edge (u, v): d[v] <= d[u] + 1 when u is reached.
+        for (u, v) in g.edges() {
+            if let Some(du) = d[u.index()] {
+                let dv = d[v.index()].expect("neighbor of reached node must be reached");
+                prop_assert!(dv <= du + 1);
+            }
+        }
+        // Every reached non-source node has an in-neighbor one hop closer.
+        for v in g.nodes() {
+            if let Some(dv) = d[v.index()] {
+                if dv > 0 {
+                    let ok = g
+                        .in_neighbors(v)
+                        .iter()
+                        .any(|&u| d[u.index()] == Some(dv - 1));
+                    prop_assert!(ok, "node {v} at distance {dv} lacks a predecessor");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_bfs_matches_forward_on_reversed_graph(g in arb_graph(30, 120), src in 0usize..30) {
+        let src = src % g.node_count();
+        let rev = g.reversed();
+        let a = reverse_bfs_distances(&g, &[NodeId::new(src)]);
+        let b = bfs_distances(&rev, &[NodeId::new(src)]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn incremental_relaxation_matches_batch(g in arb_graph(30, 120), srcs in proptest::collection::vec(0usize..30, 1..5)) {
+        let n = g.node_count();
+        let srcs: Vec<NodeId> = srcs.into_iter().map(|s| NodeId::new(s % n)).collect();
+        let mut incremental = vec![None; n];
+        for &s in &srcs {
+            relax_with_source(&g, &mut incremental, s);
+        }
+        let batch = bfs_distances(&g, &srcs);
+        prop_assert_eq!(incremental, batch);
+    }
+
+    #[test]
+    fn weak_components_agree_with_symmetric_reachability(g in arb_graph(20, 60)) {
+        let labels = weakly_connected_labels(&g);
+        let s = g.symmetrized();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let connected = is_reachable(&s, u, v);
+                prop_assert_eq!(labels[u.index()] == labels[v.index()], connected);
+            }
+        }
+    }
+
+    #[test]
+    fn scc_partition_and_mutual_reachability(g in arb_graph(16, 60)) {
+        let sccs = strongly_connected_components(&g);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        // Nodes in the same SCC are mutually reachable.
+        for c in &sccs {
+            for &u in c {
+                for &v in c {
+                    prop_assert!(is_reachable(&g, u, v));
+                }
+            }
+        }
+        // Representatives of different SCCs are not mutually reachable.
+        for (i, a) in sccs.iter().enumerate() {
+            for b in sccs.iter().skip(i + 1) {
+                let (u, v) = (a[0], b[0]);
+                prop_assert!(!(is_reachable(&g, u, v) && is_reachable(&g, v, u)));
+            }
+        }
+    }
+
+    #[test]
+    fn union_find_labels_are_an_equivalence(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..40)) {
+        let mut uf = UnionFind::new(20);
+        let mut naive: Vec<usize> = (0..20).collect();
+        for (a, b) in ops {
+            uf.union(a, b);
+            // Naive merge for cross-checking.
+            let (ra, rb) = (naive[a], naive[b]);
+            if ra != rb {
+                for x in naive.iter_mut() {
+                    if *x == rb {
+                        *x = ra;
+                    }
+                }
+            }
+        }
+        let labels = uf.labels();
+        for a in 0..20 {
+            for b in 0..20 {
+                prop_assert_eq!(labels[a] == labels[b], naive[a] == naive[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_preserves_edge_count_and_flips(g in arb_graph(25, 80)) {
+        let r = g.reversed();
+        prop_assert_eq!(r.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(r.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_subset(g in arb_graph(20, 60), keep in proptest::collection::btree_set(0usize..20, 1..10)) {
+        let keep: Vec<NodeId> = keep
+            .into_iter()
+            .filter(|&i| i < g.node_count())
+            .map(NodeId::new)
+            .collect();
+        prop_assume!(!keep.is_empty());
+        let sub = g.induced_subgraph(&keep);
+        for (u, v) in sub.graph.edges() {
+            prop_assert!(g.has_edge(sub.parent_id(u), sub.parent_id(v)));
+        }
+        // Every parent edge between kept nodes survives.
+        let mut expected = 0usize;
+        for &u in &keep {
+            for &v in &keep {
+                if g.has_edge(u, v) {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(sub.graph.edge_count(), expected);
+    }
+
+    #[test]
+    fn gnm_directed_is_exact_and_simple(n in 3usize..40, seed in 0u64..1000) {
+        let max = n * (n - 1);
+        let m = max / 3;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = generators::gnm_directed(n, m, &mut rng).unwrap();
+        prop_assert_eq!(g.edge_count(), m);
+        // Simplicity: the edges iterator yields no duplicates.
+        let set: std::collections::HashSet<_> = g.edges().collect();
+        prop_assert_eq!(set.len(), m);
+    }
+
+    #[test]
+    fn planted_partition_labels_cover_all_nodes(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (g, labels) =
+            generators::planted_partition(&[8, 12, 5], 0.4, 0.05, false, &mut rng).unwrap();
+        prop_assert_eq!(g.node_count(), 25);
+        prop_assert_eq!(labels.len(), 25);
+        prop_assert_eq!(*labels.iter().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn core_numbers_match_peeling_definition(g in arb_graph(25, 100)) {
+        let d = core_decomposition(&g);
+        let und = g.symmetrized();
+        // Naive verification: iteratively peel nodes with undirected
+        // degree < k; survivors are exactly the k-core.
+        for k in 1..=d.degeneracy {
+            let mut alive: Vec<bool> = vec![true; g.node_count()];
+            loop {
+                let mut changed = false;
+                for v in und.nodes() {
+                    if alive[v.index()] {
+                        let deg = und
+                            .out_neighbors(v)
+                            .iter()
+                            .filter(|w| alive[w.index()])
+                            .count();
+                        if deg < k as usize {
+                            alive[v.index()] = false;
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for v in g.nodes() {
+                prop_assert_eq!(
+                    alive[v.index()],
+                    d.core_of(v) >= k,
+                    "node {} at k = {}", v, k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_probability_distribution(g in arb_graph(25, 100)) {
+        let pr = pagerank(&g, &PageRankConfig::default());
+        let total: f64 = pr.scores.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum = {total}");
+        prop_assert!(pr.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn eccentricity_is_max_bfs_distance(g in arb_graph(20, 60), src in 0usize..20) {
+        let src = NodeId::new(src % g.node_count());
+        let d = bfs_distances(&g, &[src]);
+        let expected = d.iter().flatten().copied().filter(|&x| x > 0).max();
+        prop_assert_eq!(eccentricity(&g, src), expected);
+    }
+
+    #[test]
+    fn harmonic_closeness_is_bounded(g in arb_graph(20, 80), v in 0usize..20) {
+        let v = NodeId::new(v % g.node_count());
+        let c = harmonic_closeness_in(&g, v);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "closeness {c}");
+    }
+
+    #[test]
+    fn chung_lu_meets_exact_budgets(seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (g, labels) = generators::community_chung_lu(
+            &[30, 20], &[90, 50], 25, 2.5, false, &mut rng,
+        )
+        .unwrap();
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if labels[u.index()] == labels[v.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        prop_assert_eq!(intra, 140);
+        prop_assert_eq!(inter, 25);
+        // Simple graph: no duplicate edges or self-loops.
+        let set: std::collections::HashSet<_> = g.edges().collect();
+        prop_assert_eq!(set.len(), g.edge_count());
+        prop_assert!(g.edges().all(|(u, v)| u != v));
+    }
+}

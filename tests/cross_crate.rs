@@ -1,0 +1,158 @@
+//! Cross-crate consistency checks: properties that only emerge when
+//! the substrates are composed.
+
+use lcrb_repro::prelude::*;
+use lcrb_repro::community::metrics::{mixing_parameter, normalized_mutual_information};
+use lcrb_repro::diffusion::OpoaoRealization;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn doam_oracle_matches_simulator_on_dataset_graphs() {
+    let ds = enron_like(&DatasetConfig::new(0.03, 17));
+    let mut rng = SmallRng::seed_from_u64(17);
+    let inst = RumorBlockingInstance::with_random_seeds(
+        ds.graph.clone(),
+        ds.planted.clone(),
+        ds.pinned_communities[0],
+        4,
+        &mut rng,
+    )
+    .unwrap();
+    let seeds = inst
+        .seed_sets(vec![])
+        .unwrap();
+    let sim = DoamModel::default().run_deterministic(inst.graph(), &seeds);
+    let ana = doam_analytic(inst.graph(), &seeds);
+    assert_eq!(sim.statuses(), ana.statuses());
+    assert_eq!(sim.trace(), ana.trace());
+}
+
+#[test]
+fn bridge_ends_are_exactly_the_first_escapes_under_doam() {
+    // Without protectors, the earliest nodes infected outside the
+    // rumor community are bridge ends (community-restricted rule),
+    // provided the shortest escape stays inside the community — the
+    // paper's structural premise.
+    let ds = hep_like(&DatasetConfig::new(0.05, 23));
+    let mut rng = SmallRng::seed_from_u64(23);
+    let inst = RumorBlockingInstance::with_random_seeds(
+        ds.graph.clone(),
+        ds.planted.clone(),
+        ds.pinned_communities[0],
+        3,
+        &mut rng,
+    )
+    .unwrap();
+    let bridges = find_bridge_ends(&inst, BridgeEndRule::WithinCommunity);
+    let outcome = DoamModel::default()
+        .run_deterministic(inst.graph(), &inst.seed_sets(vec![]).unwrap());
+    // All bridge ends get infected when nothing is done.
+    for &v in &bridges.nodes {
+        assert!(outcome.status(v).is_infected());
+    }
+    // The earliest outside infection happens at a bridge end.
+    let earliest_outside = inst
+        .graph()
+        .nodes()
+        .filter(|&v| !inst.in_rumor_community(v))
+        .filter_map(|v| outcome.activation_hop(v).map(|h| (h, v)))
+        .min();
+    if let Some((_, v)) = earliest_outside {
+        assert!(
+            bridges.nodes.binary_search(&v).is_ok(),
+            "first escape {v} is not a bridge end"
+        );
+    }
+}
+
+#[test]
+fn louvain_recovers_planted_structure_of_datasets() {
+    let ds = hep_like(&DatasetConfig::new(0.05, 31));
+    let result = louvain(&ds.graph, &LouvainConfig::default());
+    let nmi = normalized_mutual_information(&result.partition, &ds.planted);
+    assert!(nmi > 0.6, "nmi = {nmi}");
+    // Louvain's partition keeps cross-community edges scarce, the
+    // property the LCRB strategy depends on.
+    let mu = mixing_parameter(&ds.graph, &result.partition);
+    assert!(mu < 0.45, "mixing = {mu}");
+}
+
+#[test]
+fn coupled_realizations_share_rumor_randomness() {
+    // With a common realization, runs that differ only in protectors
+    // agree on every node that neither protector run touches: the
+    // rumor side of the coupling is identical (the point of §V-A's
+    // construction).
+    let ds = hep_like(&DatasetConfig::new(0.03, 5));
+    let mut rng = SmallRng::seed_from_u64(5);
+    let inst = RumorBlockingInstance::with_random_seeds(
+        ds.graph.clone(),
+        ds.planted.clone(),
+        ds.pinned_communities[0],
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    let model = OpoaoModel::new(15);
+    let real = OpoaoRealization::new(99);
+    let base = model.run_realized(
+        inst.graph(),
+        &inst.seed_sets(vec![]).unwrap(),
+        &real,
+    );
+    // Pick a protector far from the action: an isolated-ish node in
+    // another community (any non-rumor node works for the coupling
+    // property we check).
+    let protector = inst
+        .graph()
+        .nodes()
+        .find(|&v| !inst.in_rumor_community(v) && !base.status(v).is_active())
+        .expect("some node stays inactive in 15 hops");
+    let with = model.run_realized(
+        inst.graph(),
+        &inst.seed_sets(vec![protector]).unwrap(),
+        &real,
+    );
+    // Coupling: infections can only shrink, never move around.
+    for v in inst.graph().nodes() {
+        if with.status(v).is_infected() {
+            assert!(
+                base.status(v).is_infected(),
+                "node {v} infected only when a protector was added"
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_io_round_trips_a_dataset() {
+    let ds = hep_like(&DatasetConfig::new(0.02, 2));
+    let mut buf = Vec::new();
+    lcrb_repro::graph::io::write_edge_list(&ds.graph, &mut buf).unwrap();
+    let loaded = lcrb_repro::graph::io::read_edge_list(&buf[..]).unwrap();
+    assert_eq!(loaded.graph.edge_count(), ds.graph.edge_count());
+    // Labels are decimal ids, so structure is preserved under the
+    // identity mapping... but first-appearance order may renumber;
+    // check via degree multiset instead.
+    let mut a: Vec<usize> = ds.graph.nodes().map(|v| ds.graph.out_degree(v)).collect();
+    let mut b: Vec<usize> = loaded
+        .graph
+        .nodes()
+        .map(|v| loaded.graph.out_degree(v))
+        .collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    // Isolated nodes never appear in an edge list.
+    let isolated = a.iter().filter(|&&d| d == 0).count();
+    let isolated_in = ds
+        .graph
+        .nodes()
+        .filter(|&v| ds.graph.degree(v) == 0)
+        .count();
+    assert_eq!(
+        a.len() - b.len(),
+        isolated_in,
+        "only fully isolated nodes may be dropped ({isolated} zero-out-degree)"
+    );
+}

@@ -1,0 +1,83 @@
+//! Calibration tests: the synthetic stand-ins must match the
+//! statistics the paper reports for its datasets (§VI-A), because
+//! those statistics are exactly what the substitution argument in
+//! DESIGN.md §3 relies on.
+
+use lcrb_repro::datasets::{enron_like, enron_stats, hep_like, hep_stats, DatasetConfig};
+use lcrb_repro::graph::metrics::{average_out_degree, reciprocity};
+
+#[test]
+fn enron_like_hits_paper_statistics() {
+    let scale = 0.1;
+    let ds = enron_like(&DatasetConfig::new(scale, 3));
+    let g = &ds.graph;
+    let want_nodes = (enron_stats::NODES as f64 * scale).round();
+    assert!(
+        (g.node_count() as f64 - want_nodes).abs() / want_nodes < 0.02,
+        "nodes {} vs {want_nodes}",
+        g.node_count()
+    );
+    let want_edges = (enron_stats::EDGES as f64 * scale).round() as usize;
+    assert_eq!(g.edge_count(), want_edges);
+    // Paper: "an average node degree of 10.0".
+    assert!((average_out_degree(g) - 10.0).abs() < 0.3);
+    // Email graphs are directed: reciprocity well below 1.
+    assert!(reciprocity(g) < 0.7);
+}
+
+#[test]
+fn enron_like_pins_both_paper_communities() {
+    let ds = enron_like(&DatasetConfig::new(0.1, 3));
+    let sizes = ds.planted.community_sizes();
+    assert_eq!(ds.pinned_communities.len(), 2);
+    let large = sizes[ds.pinned_communities[0]];
+    let small = sizes[ds.pinned_communities[1]];
+    assert_eq!(large, (enron_stats::LARGE_COMMUNITY as f64 * 0.1).round() as usize);
+    assert_eq!(small, (enron_stats::SMALL_COMMUNITY as f64 * 0.1).round() as usize);
+}
+
+#[test]
+fn hep_like_hits_paper_statistics() {
+    let scale = 0.1;
+    let ds = hep_like(&DatasetConfig::new(scale, 4));
+    let g = &ds.graph;
+    let want_nodes = (hep_stats::NODES as f64 * scale).round();
+    assert!((g.node_count() as f64 - want_nodes).abs() / want_nodes < 0.02);
+    // Undirected edges become two arcs; the paper's "average node
+    // degree of 7.73" is 2m/n.
+    assert!((average_out_degree(g) - 7.73).abs() < 0.3, "{}", average_out_degree(g));
+    assert_eq!(reciprocity(g), 1.0);
+    let sizes = ds.planted.community_sizes();
+    assert_eq!(
+        sizes[ds.pinned_communities[0]],
+        (hep_stats::COMMUNITY as f64 * scale).round() as usize
+    );
+}
+
+#[test]
+fn full_scale_datasets_match_exactly() {
+    // The headline numbers of §VI-A at scale 1 — generation stays
+    // fast enough to test (≈60 ms for Enron).
+    let ds = enron_like(&DatasetConfig::default());
+    assert_eq!(ds.graph.node_count(), enron_stats::NODES);
+    assert_eq!(ds.graph.edge_count(), enron_stats::EDGES);
+    let ds = hep_like(&DatasetConfig::default());
+    assert_eq!(ds.graph.node_count(), hep_stats::NODES);
+    assert_eq!(ds.graph.edge_count(), 2 * hep_stats::UNDIRECTED_EDGES);
+}
+
+#[test]
+fn community_size_distribution_is_heavy_tailed() {
+    let ds = enron_like(&DatasetConfig::new(0.1, 9));
+    let mut sizes = ds.planted.community_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    assert!(sizes.len() >= 10, "only {} communities", sizes.len());
+    // The largest community dwarfs the median, as in real Louvain
+    // partitions of social networks.
+    let median = sizes[sizes.len() / 2];
+    assert!(
+        sizes[0] >= 5 * median,
+        "largest {} vs median {median}",
+        sizes[0]
+    );
+}
