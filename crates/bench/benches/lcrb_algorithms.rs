@@ -71,9 +71,7 @@ fn bench_scbg_table1(c: &mut Criterion) {
             inst,
             |b, inst| {
                 let ordering = MaxDegreeSelector.ordering(inst);
-                b.iter(|| {
-                    protectors_to_cover_all(inst, BridgeEndRule::WithinCommunity, &ordering)
-                });
+                b.iter(|| protectors_to_cover_all(inst, BridgeEndRule::WithinCommunity, &ordering));
             },
         );
     }

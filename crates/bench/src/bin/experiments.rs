@@ -17,12 +17,12 @@
 
 use std::process::ExitCode;
 
+use lcrb::CandidatePool;
 use lcrb_bench::harness::{
     figure_spec, run_doam_figure, run_opoao_figure, run_source_detection, run_table_one,
     FigureResult, HarnessConfig, FIGURES,
 };
 use lcrb_bench::report::{write_report, TextTable};
-use lcrb::CandidatePool;
 
 struct CliOptions {
     scale: Option<f64>,
@@ -175,7 +175,14 @@ fn run_table(opts: &CliOptions) -> Result<(), String> {
     );
     let rows = run_table_one(&cfg);
     let mut table = TextTable::new([
-        "dataset", "|N|", "|C|", "|B|", "|R|/|C|", "SCBG", "Proximity", "MaxDegree",
+        "dataset",
+        "|N|",
+        "|C|",
+        "|B|",
+        "|R|/|C|",
+        "SCBG",
+        "Proximity",
+        "MaxDegree",
     ]);
     for r in &rows {
         table.push_row([
@@ -206,7 +213,12 @@ fn run_sources(opts: &CliOptions) -> Result<(), String> {
     );
     let rows = run_source_detection(&cfg);
     let mut table = TextTable::new([
-        "snapshot", "trials", "candidates", "mean rank", "top-1", "top-10%",
+        "snapshot",
+        "trials",
+        "candidates",
+        "mean rank",
+        "top-1",
+        "top-10%",
     ]);
     for r in &rows {
         table.push_row([

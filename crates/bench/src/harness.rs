@@ -9,9 +9,8 @@ use rand::SeedableRng;
 
 use lcrb::evaluate::{evaluate_protector_sets, HopSeriesReport};
 use lcrb::{
-    greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule, CandidatePool,
-    GreedyConfig, MaxDegreeSelector, ProtectorSelector, ProximitySelector,
-    RumorBlockingInstance, ScbgConfig,
+    greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule, CandidatePool, GreedyConfig,
+    MaxDegreeSelector, ProtectorSelector, ProximitySelector, RumorBlockingInstance, ScbgConfig,
 };
 use lcrb_datasets::{
     enron_like, enron_like_heterogeneous, hep_like, hep_like_heterogeneous, DatasetConfig,
@@ -367,10 +366,7 @@ pub struct TableOneRow {
 /// The Proximity coverage ordering: the shuffled direct-out-neighbor
 /// pool, extended (when the pool alone cannot cover) with the
 /// remaining nodes in decreasing degree order.
-fn proximity_ordering<R: Rng + ?Sized>(
-    inst: &RumorBlockingInstance,
-    rng: &mut R,
-) -> Vec<NodeId> {
+fn proximity_ordering<R: Rng + ?Sized>(inst: &RumorBlockingInstance, rng: &mut R) -> Vec<NodeId> {
     let mut pool = ProximitySelector.pool(inst);
     pool.shuffle(rng);
     let mut in_pool = vec![false; inst.graph().node_count()];
@@ -411,20 +407,13 @@ pub fn run_table_one(cfg: &HarnessConfig) -> Vec<TableOneRow> {
                 b_sum += sol.bridge_ends.len() as f64;
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ trial as u64);
                 let prox_order = proximity_ordering(&inst, &mut rng);
-                let prox = protectors_to_cover_all(
-                    &inst,
-                    BridgeEndRule::WithinCommunity,
-                    &prox_order,
-                )
-                .expect("ordering spans all non-rumor nodes, so coverage succeeds");
+                let prox =
+                    protectors_to_cover_all(&inst, BridgeEndRule::WithinCommunity, &prox_order)
+                        .expect("ordering spans all non-rumor nodes, so coverage succeeds");
                 p_sum += prox.len() as f64;
                 let md_order = MaxDegreeSelector.ordering(&inst);
-                let md = protectors_to_cover_all(
-                    &inst,
-                    BridgeEndRule::WithinCommunity,
-                    &md_order,
-                )
-                .expect("ordering spans all non-rumor nodes, so coverage succeeds");
+                let md = protectors_to_cover_all(&inst, BridgeEndRule::WithinCommunity, &md_order)
+                    .expect("ordering spans all non-rumor nodes, so coverage succeeds");
                 m_sum += md.len() as f64;
             }
             let t = cfg.trials.max(1) as f64;
@@ -569,7 +558,12 @@ mod tests {
         }
         // Deterministic tight snapshots localize well.
         let doam2 = rows.iter().find(|r| r.snapshot == "doam-2").unwrap();
-        assert!(doam2.top10pct * 2 >= doam2.trials, "doam-2 top10 {}/{}", doam2.top10pct, doam2.trials);
+        assert!(
+            doam2.top10pct * 2 >= doam2.trials,
+            "doam-2 top10 {}/{}",
+            doam2.top10pct,
+            doam2.trials
+        );
     }
 
     #[test]
@@ -588,8 +582,7 @@ mod tests {
         for sub in &result.subs {
             assert_eq!(sub.report.runs.len(), 4);
             assert_eq!(sub.budget, sub.rumor_count);
-            let names: Vec<&str> =
-                sub.report.runs.iter().map(|r| r.name.as_str()).collect();
+            let names: Vec<&str> = sub.report.runs.iter().map(|r| r.name.as_str()).collect();
             assert_eq!(names, ["greedy", "proximity", "max-degree", "no-blocking"]);
             // NoBlocking is the worst (or tied): protection never
             // increases infections.
@@ -610,10 +603,7 @@ mod tests {
             // Heuristics use at most the same budget (pool may be
             // smaller for proximity).
             assert!(sub.report.runs[1].protectors.len() <= sub.budget);
-            assert_eq!(sub.report.runs[2].protectors.len(), sub.budget.min(
-                // max-degree pool = all non-rumor nodes
-                usize::MAX,
-            ));
+            assert_eq!(sub.report.runs[2].protectors.len(), sub.budget);
         }
     }
 

@@ -170,7 +170,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         write_report(&dir, "t.txt", "first").unwrap();
         write_report(&dir, "t.txt", "second").unwrap();
-        assert_eq!(std::fs::read_to_string(dir.join("t.txt")).unwrap(), "second");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("t.txt")).unwrap(),
+            "second"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -80,16 +80,8 @@ impl WeightedLevel {
             total: g.edge_count() as f64,
         };
         for v in g.nodes() {
-            level.out[v.index()] = g
-                .out_neighbors(v)
-                .iter()
-                .map(|&w| (w.raw(), 1.0))
-                .collect();
-            level.ins[v.index()] = g
-                .in_neighbors(v)
-                .iter()
-                .map(|&w| (w.raw(), 1.0))
-                .collect();
+            level.out[v.index()] = g.out_neighbors(v).iter().map(|&w| (w.raw(), 1.0)).collect();
+            level.ins[v.index()] = g.in_neighbors(v).iter().map(|&w| (w.raw(), 1.0)).collect();
             level.w_out[v.index()] = g.out_degree(v) as f64;
             level.w_in[v.index()] = g.in_degree(v) as f64;
         }
@@ -143,8 +135,7 @@ impl WeightedLevel {
                 // Gain of joining community c (relative to staying
                 // isolated): d_vc/m − (w_out[v]·tot_in[c] + w_in[v]·tot_out[c])/m².
                 let gain = |_c: usize, d_vc: f64, tot_in_c: f64, tot_out_c: f64| {
-                    d_vc / m
-                        - (self.w_out[v] * tot_in_c + self.w_in[v] * tot_out_c) / (m * m)
+                    d_vc / m - (self.w_out[v] * tot_in_c + self.w_in[v] * tot_out_c) / (m * m)
                 };
                 let mut best_c = cv;
                 let mut best_gain = gain(cv, weight_to[cv], tot_in[cv], tot_out[cv]);
@@ -311,19 +302,8 @@ mod tests {
 
     #[test]
     fn two_triangles_are_separated() {
-        let g = DiGraph::from_edges(
-            6,
-            [
-                (0, 1),
-                (1, 2),
-                (2, 0),
-                (3, 4),
-                (4, 5),
-                (5, 3),
-                (2, 3),
-            ],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
         let r = louvain(&g, &LouvainConfig::default());
         let p = &r.partition;
         assert_eq!(p.community_count(), 2);

@@ -170,7 +170,16 @@ mod tests {
     fn two_triangles() -> (DiGraph, Partition) {
         let g = DiGraph::from_edges(
             6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (5, 0)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (5, 0),
+            ],
         )
         .unwrap();
         let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);

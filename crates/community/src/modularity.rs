@@ -113,19 +113,8 @@ mod tests {
     #[test]
     fn two_cliques_sharp_partition() {
         // Two directed triangles joined by one edge.
-        let g = DiGraph::from_edges(
-            6,
-            [
-                (0, 1),
-                (1, 2),
-                (2, 0),
-                (3, 4),
-                (4, 5),
-                (5, 3),
-                (2, 3),
-            ],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
         let good = modularity(&g, &Partition::from_labels(vec![0, 0, 0, 1, 1, 1]));
         let bad = modularity(&g, &Partition::from_labels(vec![0, 0, 1, 1, 0, 1]));
         assert!(good > bad);

@@ -46,7 +46,6 @@ impl std::error::Error for PartitionSizeError {}
 /// assert_ne!(p.community_of(NodeId::new(0)), p.community_of(NodeId::new(2)));
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Partition {
     labels: Vec<usize>,
     count: usize,
@@ -249,7 +248,10 @@ mod tests {
         assert_eq!(p.community_closest_to_size(3), Some(0));
         assert_eq!(p.community_closest_to_size(1), Some(2));
         assert_eq!(p.community_closest_to_size(100), Some(0));
-        assert_eq!(Partition::from_labels(vec![]).community_closest_to_size(1), None);
+        assert_eq!(
+            Partition::from_labels(vec![]).community_closest_to_size(1),
+            None
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@ use crate::RumorBlockingInstance;
 /// Which reading of "reachable from the rumors" to use when hunting
 /// bridge ends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum BridgeEndRule {
     /// Rumor paths may only pass through the rumor community; bridge
     /// ends are the first nodes met outside it. This matches the

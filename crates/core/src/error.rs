@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn source_chains() {
-        let e = LcrbError::from(PartitionSizeError { labels: 2, nodes: 3 });
+        let e = LcrbError::from(PartitionSizeError {
+            labels: 2,
+            nodes: 3,
+        });
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&LcrbError::NoRumorSeeds).is_none());
     }

@@ -6,7 +6,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use lcrb_diffusion::{monte_carlo, AveragedOutcome, MonteCarloConfig, TwoCascadeModel};
+use lcrb_diffusion::{monte_carlo_csr, AveragedOutcome, MonteCarloConfig, TwoCascadeModel};
 use lcrb_graph::NodeId;
 
 use crate::{LcrbError, ProtectorSelector, RumorBlockingInstance};
@@ -80,11 +80,7 @@ impl HopSeriesReport {
         for hop in 0..self.max_hops() {
             let _ = write!(out, "{hop}");
             for run in &self.runs {
-                let _ = write!(
-                    out,
-                    ",{}",
-                    run.averaged.mean_infected_at_hop(hop as u32)
-                );
+                let _ = write!(out, ",{}", run.averaged.mean_infected_at_hop(hop as u32));
             }
             out.push('\n');
         }
@@ -111,7 +107,7 @@ where
     let mut runs = Vec::with_capacity(sets.len());
     for (name, protectors) in sets {
         let seeds = instance.seed_sets(protectors.clone())?;
-        let averaged = monte_carlo(model, instance.graph(), &seeds, mc);
+        let averaged = monte_carlo_csr(model, instance.snapshot(), &seeds, mc);
         runs.push(AlgorithmRun {
             name: name.clone(),
             protectors: protectors.clone(),
@@ -143,12 +139,7 @@ where
     let mut rng = SmallRng::seed_from_u64(selection_seed);
     let sets: Vec<(String, Vec<NodeId>)> = selectors
         .iter()
-        .map(|s| {
-            (
-                s.name().to_owned(),
-                s.select(instance, budget, &mut rng),
-            )
-        })
+        .map(|s| (s.name().to_owned(), s.select(instance, budget, &mut rng)))
         .collect();
     evaluate_protector_sets(instance, model, &sets, mc)
 }

@@ -15,12 +15,13 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use lcrb_graph::traversal::{bfs_distances, bfs_distances_where, Direction};
+use lcrb_diffusion::SimWorkspace;
+use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
 use crate::{
-    find_bridge_ends, BridgeEndRule, BridgeEnds, LcrbError, ObjectiveModel,
-    ProtectionObjective, RumorBlockingInstance,
+    find_bridge_ends, BridgeEndRule, BridgeEnds, LcrbError, ObjectiveModel, ProtectionObjective,
+    RumorBlockingInstance,
 };
 
 /// Where Algorithm 1 looks for protector candidates.
@@ -30,7 +31,6 @@ use crate::{
 /// hurting quality (nodes that cannot reach any bridge end in time
 /// have zero gain anyway).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CandidatePool {
     /// Every node except the rumor originators (the paper's literal
     /// candidate set).
@@ -205,7 +205,10 @@ fn run_greedy(
     let mut sigma_history = Vec::new();
     let mut evaluations = 0usize;
 
-    let mut sigma_current = objective.sigma(&selected)?;
+    // One long-lived workspace drives every σ̂ evaluation of the
+    // sequential CELF loop against the instance's CSR snapshot.
+    let mut ws = SimWorkspace::with_capacity(instance.graph().node_count());
+    let mut sigma_current = objective.sigma_with(&selected, &mut ws)?;
     evaluations += 1;
 
     if sigma_current >= target || candidates.is_empty() || cap == 0 {
@@ -223,12 +226,7 @@ fn run_greedy(
 
     // Initial sweep: marginal gain of every candidate alone,
     // evaluated in parallel.
-    let gains = parallel_initial_gains(
-        &objective,
-        &candidates,
-        sigma_current,
-        config.threads,
-    )?;
+    let gains = parallel_initial_gains(&objective, &candidates, sigma_current, config.threads)?;
     evaluations += candidates.len();
 
     // CELF heap: (gain, candidate index, round the gain was scored).
@@ -248,7 +246,7 @@ fn run_greedy(
                 // Stale: re-score against the current selection.
                 let mut trial = selected.clone();
                 trial.push(candidates[idx]);
-                let s = objective.sigma(&trial)?;
+                let s = objective.sigma_with(&trial, &mut ws)?;
                 evaluations += 1;
                 heap.push((FiniteF64(s - sigma_current), idx, round));
                 continue;
@@ -263,18 +261,16 @@ fn run_greedy(
         } else {
             // Plain Algorithm 1: re-score everything each round.
             let mut best: Option<(f64, usize)> = None;
-            let in_selection =
-                |idx: usize| selected.iter().any(|&s| s == candidates[idx]);
-            for idx in 0..candidates.len() {
-                if in_selection(idx) {
+            for (idx, &candidate) in candidates.iter().enumerate() {
+                if selected.contains(&candidate) {
                     continue;
                 }
                 let mut trial = selected.clone();
-                trial.push(candidates[idx]);
-                let s = objective.sigma(&trial)?;
+                trial.push(candidate);
+                let s = objective.sigma_with(&trial, &mut ws)?;
                 evaluations += 1;
                 let gain = s - sigma_current;
-                if best.map_or(true, |(bg, _)| gain > bg) {
+                if best.is_none_or(|(bg, _)| gain > bg) {
                     best = Some((gain, idx));
                 }
             }
@@ -315,34 +311,26 @@ fn candidate_pool(
     pool: CandidatePool,
 ) -> Vec<NodeId> {
     let g = instance.graph();
+    let csr = instance.snapshot();
     let mut nodes: Vec<NodeId> = match pool {
-        CandidatePool::AllNonRumor => g
-            .nodes()
-            .filter(|&v| !instance.is_rumor_seed(v))
-            .collect(),
+        CandidatePool::AllNonRumor => g.nodes().filter(|&v| !instance.is_rumor_seed(v)).collect(),
         CandidatePool::BackwardRadius(radius) => {
-            let dist = bfs_distances_where(
-                g,
-                &bridge_ends.nodes,
-                Direction::Backward,
-                radius,
-                |_| true,
-            );
+            let mut back = CsrBfsScratch::new();
+            back.run(csr, &bridge_ends.nodes, Direction::Backward, radius);
             g.nodes()
-                .filter(|&v| dist[v.index()].is_some() && !instance.is_rumor_seed(v))
+                .filter(|&v| back.is_reached(v) && !instance.is_rumor_seed(v))
                 .collect()
         }
         CandidatePool::BbstUnion => {
-            let d_r = bfs_distances(g, instance.rumor_seeds());
+            let mut d_r = CsrBfsScratch::new();
+            d_r.run(csr, instance.rumor_seeds(), Direction::Forward, u32::MAX);
             let mut in_pool = vec![false; g.node_count()];
+            let mut back = CsrBfsScratch::new();
             for &v in &bridge_ends.nodes {
-                let depth = d_r[v.index()].expect("bridge ends are reachable");
-                let back =
-                    bfs_distances_where(g, &[v], Direction::Backward, depth, |_| true);
-                for u in g.nodes() {
-                    if back[u.index()].is_some() {
-                        in_pool[u.index()] = true;
-                    }
+                let depth = d_r.distance(v).expect("bridge ends are reachable");
+                back.run(csr, &[v], Direction::Backward, depth);
+                for &u in back.order() {
+                    in_pool[u.index()] = true;
                 }
             }
             g.nodes()
@@ -371,19 +359,23 @@ fn parallel_initial_gains(
     .max(1);
 
     if threads == 1 {
+        let mut ws = SimWorkspace::new();
         return candidates
             .iter()
-            .map(|&c| Ok(objective.sigma(&[c])? - sigma_empty))
+            .map(|&c| Ok(objective.sigma_with(&[c], &mut ws)? - sigma_empty))
             .collect();
     }
-    let results = crossbeam::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
+                // One workspace per worker for the whole sweep: the
+                // objective is shared immutably, scratch is private.
+                let mut ws = SimWorkspace::new();
                 let mut partial = Vec::new();
                 let mut i = t;
                 while i < candidates.len() {
-                    partial.push((i, objective.sigma(&[candidates[i]])));
+                    partial.push((i, objective.sigma_with(&[candidates[i]], &mut ws)));
                     i += threads;
                 }
                 partial
@@ -393,8 +385,7 @@ fn parallel_initial_gains(
             .into_iter()
             .flat_map(|h| h.join().expect("gain worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut gains = vec![0.0; candidates.len()];
     for (i, sigma) in results {
@@ -595,14 +586,7 @@ mod tests {
             ..GreedyConfig::default()
         };
         let a = greedy_lcrb_p(&inst, &base).unwrap();
-        let b = greedy_lcrb_p(
-            &inst,
-            &GreedyConfig {
-                threads: 4,
-                ..base
-            },
-        )
-        .unwrap();
+        let b = greedy_lcrb_p(&inst, &GreedyConfig { threads: 4, ..base }).unwrap();
         assert_eq!(a.protectors, b.protectors);
         assert_eq!(a.achieved, b.achieved);
     }

@@ -10,7 +10,7 @@
 //! entirely, which makes it a useful foil: comparing it against the
 //! paper's algorithms isolates how much the bridge-end insight buys.
 
-use lcrb_diffusion::{monte_carlo, MonteCarloConfig, TwoCascadeModel};
+use lcrb_diffusion::{monte_carlo_csr, MonteCarloConfig, TwoCascadeModel};
 use lcrb_graph::NodeId;
 
 use crate::{find_bridge_ends, BridgeEndRule, CandidatePool, LcrbError, RumorBlockingInstance};
@@ -84,12 +84,11 @@ where
     };
     let expected_infected = |protectors: &[NodeId]| -> Result<f64, LcrbError> {
         let seeds = instance.seed_sets(protectors.to_vec())?;
-        Ok(monte_carlo(model, instance.graph(), &seeds, &mc).mean_final_infected())
+        Ok(monte_carlo_csr(model, instance.snapshot(), &seeds, &mc).mean_final_infected())
     };
 
     let bridge_ends = find_bridge_ends(instance, config.rule);
-    let candidates =
-        crate::greedy::candidate_pool_for(instance, &bridge_ends, config.candidates);
+    let candidates = crate::greedy::candidate_pool_for(instance, &bridge_ends, config.candidates);
     let baseline = expected_infected(&[])?;
 
     let mut selected: Vec<NodeId> = Vec::new();
@@ -103,7 +102,7 @@ where
             let mut trial = selected.clone();
             trial.push(c);
             let v = expected_infected(&trial)?;
-            if best.map_or(true, |(bv, _)| v < bv) {
+            if best.is_none_or(|(bv, _)| v < bv) {
                 best = Some((v, i));
             }
         }
@@ -135,14 +134,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let (g, labels) =
             generators::planted_partition(&[20, 20], 0.3, 0.03, false, &mut rng).unwrap();
-        RumorBlockingInstance::with_random_seeds(
-            g,
-            Partition::from_labels(labels),
-            0,
-            2,
-            &mut rng,
-        )
-        .unwrap()
+        RumorBlockingInstance::with_random_seeds(g, Partition::from_labels(labels), 0, 2, &mut rng)
+            .unwrap()
     }
 
     #[test]
@@ -170,8 +163,7 @@ mod tests {
     fn gvs_never_selects_rumor_seeds() {
         let inst = instance(5);
         let sel =
-            greedy_viral_stopper(&inst, &DoamModel::default(), 4, &GvsConfig::default())
-                .unwrap();
+            greedy_viral_stopper(&inst, &DoamModel::default(), 4, &GvsConfig::default()).unwrap();
         for p in &sel.protectors {
             assert!(!inst.is_rumor_seed(*p));
         }
@@ -180,10 +172,10 @@ mod tests {
     #[test]
     fn gvs_on_deterministic_model_is_deterministic() {
         let inst = instance(7);
-        let a = greedy_viral_stopper(&inst, &DoamModel::default(), 2, &GvsConfig::default())
-            .unwrap();
-        let b = greedy_viral_stopper(&inst, &DoamModel::default(), 2, &GvsConfig::default())
-            .unwrap();
+        let a =
+            greedy_viral_stopper(&inst, &DoamModel::default(), 2, &GvsConfig::default()).unwrap();
+        let b =
+            greedy_viral_stopper(&inst, &DoamModel::default(), 2, &GvsConfig::default()).unwrap();
         assert_eq!(a.protectors, b.protectors);
         assert_eq!(a.baseline, b.baseline);
     }
@@ -192,8 +184,7 @@ mod tests {
     fn zero_budget_returns_baseline_only() {
         let inst = instance(9);
         let sel =
-            greedy_viral_stopper(&inst, &DoamModel::default(), 0, &GvsConfig::default())
-                .unwrap();
+            greedy_viral_stopper(&inst, &DoamModel::default(), 0, &GvsConfig::default()).unwrap();
         assert!(sel.protectors.is_empty());
         assert!(sel.infected_history.is_empty());
         assert!(sel.baseline >= inst.rumor_seeds().len() as f64);
@@ -205,11 +196,9 @@ mod tests {
         // reduce the (already minimal) infected count.
         let g = lcrb_graph::DiGraph::from_edges(4, [(0, 1), (1, 0), (2, 3)]).unwrap();
         let p = Partition::from_labels(vec![0, 0, 1, 1]);
-        let inst =
-            RumorBlockingInstance::new(g, p, 0, vec![lcrb_graph::NodeId::new(0)]).unwrap();
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![lcrb_graph::NodeId::new(0)]).unwrap();
         let sel =
-            greedy_viral_stopper(&inst, &DoamModel::default(), 3, &GvsConfig::default())
-                .unwrap();
+            greedy_viral_stopper(&inst, &DoamModel::default(), 3, &GvsConfig::default()).unwrap();
         assert!(sel.protectors.is_empty());
     }
 }

@@ -5,7 +5,7 @@
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
-use lcrb_graph::traversal::{bfs_distances, relax_with_source};
+use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
 use crate::{find_bridge_ends, BridgeEndRule, RumorBlockingInstance};
@@ -41,10 +41,7 @@ impl MaxDegreeSelector {
     #[must_use]
     pub fn ordering(&self, instance: &RumorBlockingInstance) -> Vec<NodeId> {
         let g = instance.graph();
-        let mut nodes: Vec<NodeId> = g
-            .nodes()
-            .filter(|&v| !instance.is_rumor_seed(v))
-            .collect();
+        let mut nodes: Vec<NodeId> = g.nodes().filter(|&v| !instance.is_rumor_seed(v)).collect();
         nodes.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
         nodes
     }
@@ -235,8 +232,11 @@ impl ProtectorSelector for NoBlockingSelector {
 /// Coverage mode for Table I: walk `ordering` front to back, adding
 /// protectors until every bridge end is protected under the DOAM
 /// timing oracle (`d_P(v) <= d_R(v)`, protector priority on ties).
-/// Protection is checked incrementally with BFS relaxation, so the
-/// whole sweep costs little more than one BFS per added protector.
+/// Both distance maps live in reusable CSR scratches over the
+/// instance's snapshot: `d_R` is one forward BFS, and `d_P` grows by
+/// improve-only relaxation per added protector, so the whole sweep
+/// costs little more than one BFS per added protector and allocates
+/// only the two scratches.
 ///
 /// Returns the protectors actually needed, or `None` if the ordering
 /// is exhausted before full coverage (e.g. a pool too small to reach
@@ -247,14 +247,16 @@ pub fn protectors_to_cover_all(
     rule: BridgeEndRule,
     ordering: &[NodeId],
 ) -> Option<Vec<NodeId>> {
-    let g = instance.graph();
+    let csr = instance.snapshot();
     let bridge_ends = find_bridge_ends(instance, rule);
-    let d_r = bfs_distances(g, instance.rumor_seeds());
-    let mut d_p: Vec<Option<u32>> = vec![None; g.node_count()];
+    let mut d_r = CsrBfsScratch::new();
+    d_r.run(csr, instance.rumor_seeds(), Direction::Forward, u32::MAX);
+    let mut d_p = CsrBfsScratch::new();
+    d_p.begin(csr.node_count());
 
-    let uncovered = |d_p: &[Option<u32>]| {
+    let uncovered = |d_p: &CsrBfsScratch| {
         bridge_ends.nodes.iter().any(|&v| {
-            match (d_p[v.index()], d_r[v.index()]) {
+            match (d_p.distance(v), d_r.distance(v)) {
                 (_, None) => false, // unreachable: safe
                 (Some(p), Some(r)) => p > r,
                 (None, Some(_)) => true,
@@ -268,7 +270,7 @@ pub fn protectors_to_cover_all(
     let mut chosen = Vec::new();
     for &u in ordering {
         debug_assert!(!instance.is_rumor_seed(u), "ordering contains a rumor seed");
-        relax_with_source(g, &mut d_p, u);
+        d_p.relax_forward(csr, u);
         chosen.push(u);
         if !uncovered(&d_p) {
             return Some(chosen);
@@ -289,11 +291,8 @@ mod tests {
         // Rumor community {0,1,2}, neighbors {3,4,5}.
         // 0 -> 1 -> 3, 0 -> 2 -> 4, 4 -> 5, 3 -> 5, 5 -> 3 (extra
         // degree for node 5).
-        let g = DiGraph::from_edges(
-            6,
-            [(0, 1), (1, 3), (0, 2), (2, 4), (4, 5), (3, 5), (5, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 3), (0, 2), (2, 4), (4, 5), (3, 5), (5, 3)])
+            .unwrap();
         let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
         RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap()
     }
@@ -361,11 +360,7 @@ mod tests {
     #[test]
     fn pagerank_selector_prefers_central_nodes() {
         // A hub that everything points to dominates PageRank.
-        let g = DiGraph::from_edges(
-            5,
-            [(0, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 3)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(5, [(0, 1), (2, 1), (3, 1), (4, 1), (1, 2), (2, 3)]).unwrap();
         let p = Partition::from_labels(vec![0, 1, 1, 1, 1]);
         let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
         let sel = PageRankSelector::default();
@@ -409,11 +404,8 @@ mod tests {
         // Node 5 alone cannot protect bridge end 4 in time
         // (d_P(4) = inf) nor 3 (d_P(3) = 1 <= 2 works)... so coverage
         // fails overall.
-        let result = protectors_to_cover_all(
-            &inst,
-            BridgeEndRule::WithinCommunity,
-            &[NodeId::new(5)],
-        );
+        let result =
+            protectors_to_cover_all(&inst, BridgeEndRule::WithinCommunity, &[NodeId::new(5)]);
         assert!(result.is_none());
     }
 

@@ -5,7 +5,7 @@ use rand::Rng;
 
 use lcrb_community::Partition;
 use lcrb_diffusion::SeedSets;
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
 use crate::LcrbError;
 
@@ -13,8 +13,10 @@ use crate::LcrbError;
 /// community structure, a designated rumor community `C_k`, and the
 /// rumor originators `S_R ⊆ V(C_k)` (Definition 2).
 ///
-/// The instance owns the graph and partition; all solver entry points
-/// in this crate borrow an instance.
+/// The instance owns the graph and partition, and freezes a
+/// [`CsrGraph`] snapshot once at construction; every solver in this
+/// crate simulates against that snapshot (snapshot once, simulate
+/// many).
 ///
 /// # Examples
 ///
@@ -35,6 +37,7 @@ use crate::LcrbError;
 #[derive(Clone, Debug)]
 pub struct RumorBlockingInstance {
     graph: DiGraph,
+    snapshot: CsrGraph,
     partition: Partition,
     rumor_community: usize,
     rumor_seeds: Vec<NodeId>,
@@ -82,8 +85,10 @@ impl RumorBlockingInstance {
                 });
             }
         }
+        let snapshot = CsrGraph::from(&graph);
         Ok(RumorBlockingInstance {
             graph,
+            snapshot,
             partition,
             rumor_community,
             rumor_seeds,
@@ -124,6 +129,15 @@ impl RumorBlockingInstance {
     #[must_use]
     pub fn graph(&self) -> &DiGraph {
         &self.graph
+    }
+
+    /// The frozen CSR snapshot of the graph, built once at
+    /// construction — the substrate every simulation in this crate
+    /// runs against.
+    #[inline]
+    #[must_use]
+    pub fn snapshot(&self) -> &CsrGraph {
+        &self.snapshot
     }
 
     /// The community structure.
@@ -273,13 +287,8 @@ mod tests {
     #[test]
     fn duplicate_seeds_are_collapsed() {
         let (g, p) = fixture();
-        let inst = RumorBlockingInstance::new(
-            g,
-            p,
-            0,
-            vec![NodeId::new(0), NodeId::new(0)],
-        )
-        .unwrap();
+        let inst =
+            RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0), NodeId::new(0)]).unwrap();
         assert_eq!(inst.rumor_seeds(), &[NodeId::new(0)]);
     }
 }

@@ -15,7 +15,7 @@
 //! paper's protection target `α·|B|`.
 
 use lcrb_diffusion::{
-    CompetitiveIcModel, IcRealization, OpoaoModel, OpoaoRealization, SeedSets,
+    CompetitiveIcModel, IcRealization, OpoaoModel, OpoaoRealization, SeedSets, SimWorkspace,
 };
 use lcrb_graph::NodeId;
 
@@ -169,19 +169,47 @@ impl<'a> ProtectionObjective<'a> {
         protectors: &[NodeId],
     ) -> Result<usize, LcrbError> {
         let seeds = self.seed_sets(protectors)?;
-        Ok(self.saved(index, &seeds))
+        let mut ws = SimWorkspace::with_capacity(self.instance.graph().node_count());
+        Ok(self.saved(index, &seeds, &mut ws))
     }
 
     /// `σ̂(protectors)`: the average over the realization batch of the
     /// number of bridge ends not infected.
+    ///
+    /// One-off convenience around [`ProtectionObjective::sigma_with`];
+    /// loops that evaluate many candidate sets should hold a
+    /// [`SimWorkspace`] and call `sigma_with` instead.
     ///
     /// # Errors
     ///
     /// Returns [`LcrbError::Seeds`] if `protectors` is out of bounds
     /// or overlaps the rumor seeds.
     pub fn sigma(&self, protectors: &[NodeId]) -> Result<f64, LcrbError> {
+        let mut ws = SimWorkspace::with_capacity(self.instance.graph().node_count());
+        self.sigma_with(protectors, &mut ws)
+    }
+
+    /// `σ̂(protectors)` evaluated through a caller-owned workspace.
+    ///
+    /// The entire realization batch is simulated against the
+    /// instance's frozen CSR snapshot with per-run scratch in `ws`, so
+    /// repeated evaluations allocate nothing. The objective itself
+    /// stays shareable across threads (`&self`); each worker brings
+    /// its own workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::Seeds`] if `protectors` is out of bounds
+    /// or overlaps the rumor seeds.
+    pub fn sigma_with(
+        &self,
+        protectors: &[NodeId],
+        ws: &mut SimWorkspace,
+    ) -> Result<f64, LcrbError> {
         let seeds = self.seed_sets(protectors)?;
-        let total: usize = (0..self.batch.len()).map(|i| self.saved(i, &seeds)).sum();
+        let total: usize = (0..self.batch.len())
+            .map(|i| self.saved(i, &seeds, ws))
+            .sum();
         Ok(total as f64 / self.batch.len() as f64)
     }
 
@@ -189,16 +217,15 @@ impl<'a> ProtectionObjective<'a> {
         self.instance.seed_sets(protectors.to_vec())
     }
 
-    fn saved(&self, index: usize, seeds: &SeedSets) -> usize {
-        let outcome = match &self.batch {
-            Batch::Opoao(m, reals) => {
-                m.run_realized(self.instance.graph(), seeds, &reals[index])
-            }
-            Batch::Ic(m, reals) => m.run_realized(self.instance.graph(), seeds, &reals[index]),
-        };
+    fn saved(&self, index: usize, seeds: &SeedSets, ws: &mut SimWorkspace) -> usize {
+        let csr = self.instance.snapshot();
+        match &self.batch {
+            Batch::Opoao(m, reals) => m.run_realized_into(csr, seeds, ws, &reals[index]),
+            Batch::Ic(m, reals) => m.run_realized_into(csr, seeds, ws, &reals[index]),
+        }
         self.bridge_ends
             .iter()
-            .filter(|&&v| !outcome.status(v).is_infected())
+            .filter(|&&v| !ws.status(v).is_infected())
             .count()
     }
 }
@@ -221,8 +248,7 @@ mod tests {
     #[test]
     fn rejects_zero_realizations() {
         let inst = chain_instance();
-        let err =
-            ProtectionObjective::new(&inst, vec![NodeId::new(2)], 0, 0, 31).unwrap_err();
+        let err = ProtectionObjective::new(&inst, vec![NodeId::new(2)], 0, 0, 31).unwrap_err();
         assert_eq!(err, LcrbError::NoRealizations);
     }
 
@@ -244,8 +270,7 @@ mod tests {
         let p = Partition::from_labels(labels);
         let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
         let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
-        let obj1 =
-            ProtectionObjective::new(&inst, b.nodes.clone(), 32, 5, 31).unwrap();
+        let obj1 = ProtectionObjective::new(&inst, b.nodes.clone(), 32, 5, 31).unwrap();
         let obj2 = ProtectionObjective::new(&inst, b.nodes, 32, 5, 31).unwrap();
         let p0 = vec![NodeId::new(20)];
         assert_eq!(obj1.sigma(&p0).unwrap(), obj2.sigma(&p0).unwrap());
@@ -288,8 +313,8 @@ mod tests {
         use lcrb_diffusion::CompetitiveIcModel;
         let inst = chain_instance();
         let model = ObjectiveModel::CompetitiveIc(CompetitiveIcModel::new(1.0).unwrap());
-        let obj = ProtectionObjective::with_model(&inst, vec![NodeId::new(2)], model, 8, 0)
-            .unwrap();
+        let obj =
+            ProtectionObjective::with_model(&inst, vec![NodeId::new(2)], model, 8, 0).unwrap();
         // p = 1 on a path: deterministic infection unless protected.
         assert_eq!(obj.sigma(&[]).unwrap(), 0.0);
         assert_eq!(obj.sigma(&[NodeId::new(2)]).unwrap(), 1.0);
@@ -298,6 +323,25 @@ mod tests {
             let a = obj.saved_on_realization(i, &[]).unwrap();
             let b = obj.saved_on_realization(i, &[NodeId::new(3)]).unwrap();
             assert!(b >= a);
+        }
+    }
+
+    #[test]
+    fn sigma_with_reused_workspace_matches_sigma() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (g, labels) =
+            generators::planted_partition(&[15, 15], 0.3, 0.05, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+        let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
+        let obj = ProtectionObjective::new(&inst, b.nodes.clone(), 16, 2, 31).unwrap();
+        let mut ws = SimWorkspace::new();
+        for k in 0..b.nodes.len().min(3) {
+            let protectors = &b.nodes[..k];
+            assert_eq!(
+                obj.sigma_with(protectors, &mut ws).unwrap(),
+                obj.sigma(protectors).unwrap()
+            );
         }
     }
 

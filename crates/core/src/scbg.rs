@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use lcrb_graph::traversal::{bfs_distances, bfs_tree, Direction};
+use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
 use crate::setcover::greedy_set_cover;
@@ -30,7 +30,6 @@ use crate::{find_bridge_ends, BridgeEndRule, BridgeEnds, RumorBlockingInstance};
 
 /// Tuning knobs for [`scbg`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScbgConfig {
     /// How bridge ends are detected.
     pub rule: BridgeEndRule,
@@ -91,51 +90,59 @@ impl ScbgSolution {
 /// ```
 #[must_use]
 pub fn scbg(instance: &RumorBlockingInstance, config: &ScbgConfig) -> ScbgSolution {
-    let g = instance.graph();
     let bridge_ends = find_bridge_ends(instance, config.rule);
-
-    // Infection times: hop distance from the nearest rumor originator
-    // in the full graph.
-    let d_r = bfs_distances(g, instance.rumor_seeds());
-
-    let mut is_rumor = vec![false; g.node_count()];
-    for &r in instance.rumor_seeds() {
-        is_rumor[r.index()] = true;
-    }
-
-    // Build SW_u = { bridge-end index : u ∈ Q_v } by inverting each
-    // BBST as it is produced.
-    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
-    for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
-        let depth = d_r[v.index()]
-            .expect("bridge ends are reachable from the rumor originators by definition");
-        let depth = config.max_bbst_depth.map_or(depth, |cap| depth.min(cap));
-        let bbst = bfs_tree(g, &[v], Direction::Backward, depth, |_| true);
-        for &u in &bbst.order {
-            if !is_rumor[u.index()] {
-                sw.entry(u).or_default().push(b_idx as u32);
-            }
-        }
-    }
-
-    // Deterministic candidate order (by node id) so runs are
-    // reproducible.
-    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
-    candidates.sort_unstable();
-    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
-
+    let (candidates, sets) = build_star_sets(instance, &bridge_ends, config.max_bbst_depth);
     let solution = greedy_set_cover(bridge_ends.len(), &sets);
-    let protectors = solution
-        .selected
-        .iter()
-        .map(|&i| candidates[i])
-        .collect();
+    let protectors = solution.selected.iter().map(|&i| candidates[i]).collect();
     ScbgSolution {
         protectors,
         covered: solution.covered,
         candidate_count: candidates.len(),
         bridge_ends,
     }
+}
+
+/// Steps 4–5 of Algorithm 3 on the instance's CSR snapshot: one
+/// backward BFS per bridge end `v` (depth `d_R(v)`, optionally
+/// capped) through a single reused [`CsrBfsScratch`], inverted on the
+/// fly into the star sets `SW_u = {v : u ∈ Q_v}`. Returns the
+/// candidate nodes in ascending id order (for reproducible covers)
+/// and their sets.
+fn build_star_sets(
+    instance: &RumorBlockingInstance,
+    bridge_ends: &BridgeEnds,
+    max_bbst_depth: Option<u32>,
+) -> (Vec<NodeId>, Vec<Vec<u32>>) {
+    let csr = instance.snapshot();
+    // Infection times: hop distance from the nearest rumor originator
+    // in the full graph.
+    let mut d_r = CsrBfsScratch::new();
+    d_r.run(csr, instance.rumor_seeds(), Direction::Forward, u32::MAX);
+
+    let mut is_rumor = vec![false; csr.node_count()];
+    for &r in instance.rumor_seeds() {
+        is_rumor[r.index()] = true;
+    }
+
+    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
+    let mut back = CsrBfsScratch::new();
+    for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
+        let depth = d_r
+            .distance(v)
+            .expect("bridge ends are reachable from the rumor originators by definition");
+        let depth = max_bbst_depth.map_or(depth, |cap| depth.min(cap));
+        back.run(csr, &[v], Direction::Backward, depth);
+        for &u in back.order() {
+            if !is_rumor[u.index()] {
+                sw.entry(u).or_default().push(b_idx as u32);
+            }
+        }
+    }
+
+    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
+    candidates.sort_unstable();
+    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
+    (candidates, sets)
 }
 
 /// Cost-aware SCBG — an extension beyond the paper: protectors have
@@ -176,36 +183,12 @@ pub fn scbg_weighted<F>(
 where
     F: Fn(NodeId) -> f64,
 {
-    let g = instance.graph();
     let bridge_ends = find_bridge_ends(instance, config.rule);
-    let d_r = bfs_distances(g, instance.rumor_seeds());
-    let mut is_rumor = vec![false; g.node_count()];
-    for &r in instance.rumor_seeds() {
-        is_rumor[r.index()] = true;
-    }
-    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
-    for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
-        let depth = d_r[v.index()]
-            .expect("bridge ends are reachable from the rumor originators by definition");
-        let depth = config.max_bbst_depth.map_or(depth, |cap| depth.min(cap));
-        let bbst = bfs_tree(g, &[v], Direction::Backward, depth, |_| true);
-        for &u in &bbst.order {
-            if !is_rumor[u.index()] {
-                sw.entry(u).or_default().push(b_idx as u32);
-            }
-        }
-    }
-    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
-    candidates.sort_unstable();
-    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
+    let (candidates, sets) = build_star_sets(instance, &bridge_ends, config.max_bbst_depth);
     let costs: Vec<f64> = candidates.iter().map(|&u| cost(u)).collect();
     let solution = crate::setcover::greedy_weighted_set_cover(bridge_ends.len(), &sets, &costs);
     ScbgSolution {
-        protectors: solution
-            .selected
-            .iter()
-            .map(|&i| candidates[i])
-            .collect(),
+        protectors: solution.selected.iter().map(|&i| candidates[i]).collect(),
         covered: solution.covered,
         candidate_count: candidates.len(),
         bridge_ends,
@@ -224,8 +207,7 @@ mod tests {
 
     fn instance(g: DiGraph, labels: Vec<usize>, seeds: Vec<usize>) -> RumorBlockingInstance {
         let p = Partition::from_labels(labels);
-        RumorBlockingInstance::new(g, p, 0, seeds.into_iter().map(NodeId::new).collect())
-            .unwrap()
+        RumorBlockingInstance::new(g, p, 0, seeds.into_iter().map(NodeId::new).collect()).unwrap()
     }
 
     /// Protection check shared by the tests: simulate DOAM with the
@@ -336,11 +318,9 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let (g, labels) =
-                generators::planted_partition(&[25, 25, 25], 0.3, 0.03, false, &mut rng)
-                    .unwrap();
+                generators::planted_partition(&[25, 25, 25], 0.3, 0.03, false, &mut rng).unwrap();
             let p = Partition::from_labels(labels);
-            let inst =
-                RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+            let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
             let sol = scbg(&inst, &ScbgConfig::default());
             assert!(sol.is_complete(), "seed {seed}: incomplete cover");
             assert_all_bridge_ends_protected(&inst, &sol);

@@ -144,7 +144,7 @@ pub fn greedy_weighted_set_cover(
                 return false;
             }
             let ratio = costs[i] / gain as f64;
-            if best.map_or(true, |(b, _)| ratio < b) {
+            if best.is_none_or(|(b, _)| ratio < b) {
                 best = Some((ratio, i));
             }
             true
@@ -245,7 +245,11 @@ mod tests {
         let sol = greedy_set_cover(12, &sets);
         assert_eq!(sol.covered, 12);
         let bound = (harmonic(12) * 3.0).floor() as usize;
-        assert!(sol.selected.len() <= bound, "{} > {bound}", sol.selected.len());
+        assert!(
+            sol.selected.len() <= bound,
+            "{} > {bound}",
+            sol.selected.len()
+        );
     }
 
     #[test]

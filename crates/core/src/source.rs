@@ -183,8 +183,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = generators::gnm_directed(120, 480, &mut rng).unwrap();
             let true_source = NodeId::new((seed as usize * 13) % 120);
-            let seeds =
-                lcrb_diffusion::SeedSets::rumors_only(&g, vec![true_source]).unwrap();
+            let seeds = lcrb_diffusion::SeedSets::rumors_only(&g, vec![true_source]).unwrap();
             // Truncate the broadcast to 3 hops so the snapshot still
             // carries locality information.
             let outcome = DoamModel::new(3).run_deterministic(&g, &seeds);
@@ -208,8 +207,7 @@ mod tests {
         let (g, labels) =
             generators::planted_partition(&[40, 40], 0.25, 0.02, false, &mut rng).unwrap();
         let p = Partition::from_labels(labels);
-        let inst =
-            RumorBlockingInstance::with_random_seeds(g, p, 0, 1, &mut rng).unwrap();
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 1, &mut rng).unwrap();
         let true_source = inst.rumor_seeds()[0];
         let seeds = inst.seed_sets(vec![]).unwrap();
         // The responder suspects the right community and ranks only

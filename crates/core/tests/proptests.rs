@@ -3,7 +3,6 @@
 //! submodularity of the protector-blocking count (Lemma 4 / Theorem
 //! 1), the exactness of SCBG covers, and set-cover invariants.
 
-use proptest::prelude::*;
 use lcrb::setcover::{greedy_set_cover, harmonic};
 use lcrb::{
     find_bridge_ends, greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule,
@@ -12,6 +11,7 @@ use lcrb::{
 use lcrb_community::Partition;
 use lcrb_diffusion::DoamModel;
 use lcrb_graph::{DiGraph, NodeId};
+use proptest::prelude::*;
 
 /// A random two-community instance with rumor seeds in community 0.
 fn arb_instance() -> impl Strategy<Value = RumorBlockingInstance> {
@@ -187,7 +187,7 @@ proptest! {
         for d in 0..decoys {
             sets.push(
                 (0..universe as u32)
-                    .filter(|e| (*e as usize + d) % (d + 2) == 0)
+                    .filter(|e| (*e as usize + d).is_multiple_of(d + 2))
                     .collect(),
             );
         }

@@ -31,6 +31,6 @@ mod synthetic;
 
 pub use loader::load_edge_list;
 pub use synthetic::{
-    enron_like, enron_like_heterogeneous, enron_stats, hep_like, hep_like_heterogeneous,
-    hep_stats, DatasetConfig, SyntheticDataset,
+    enron_like, enron_like_heterogeneous, enron_stats, hep_like, hep_like_heterogeneous, hep_stats,
+    DatasetConfig, SyntheticDataset,
 };

@@ -310,7 +310,9 @@ pub fn enron_like(config: &DatasetConfig) -> SyntheticDataset {
     let nodes = (enron_stats::NODES as f64 * scale).round() as usize;
     let edges = (enron_stats::EDGES as f64 * scale).round() as usize;
     let big = (enron_stats::LARGE_COMMUNITY as f64 * scale).round() as usize;
-    let small = (enron_stats::SMALL_COMMUNITY as f64 * scale).round().max(8.0) as usize;
+    let small = (enron_stats::SMALL_COMMUNITY as f64 * scale)
+        .round()
+        .max(8.0) as usize;
     assert!(big >= 8, "scale {scale} degenerates the pinned communities");
     build(
         "enron-like",
@@ -389,7 +391,9 @@ pub fn enron_like_heterogeneous(config: &DatasetConfig) -> SyntheticDataset {
     let nodes = (enron_stats::NODES as f64 * scale).round() as usize;
     let edges = (enron_stats::EDGES as f64 * scale).round() as usize;
     let big = (enron_stats::LARGE_COMMUNITY as f64 * scale).round() as usize;
-    let small = (enron_stats::SMALL_COMMUNITY as f64 * scale).round().max(8.0) as usize;
+    let small = (enron_stats::SMALL_COMMUNITY as f64 * scale)
+        .round()
+        .max(8.0) as usize;
     assert!(big >= 8, "scale {scale} degenerates the pinned communities");
     build(
         "enron-like-heterogeneous",
@@ -477,10 +481,17 @@ mod tests {
         assert!((s.nodes as f64 - want_nodes).abs() / want_nodes < 0.02);
         assert_eq!(s.edges as f64, want_edges);
         // Average degree ≈ 10 regardless of scale.
-        assert!((s.average_out_degree - 10.0).abs() < 0.5, "{}", s.average_out_degree);
+        assert!(
+            (s.average_out_degree - 10.0).abs() < 0.5,
+            "{}",
+            s.average_out_degree
+        );
         // Pinned communities at scaled paper sizes.
         let sizes = ds.planted.community_sizes();
-        assert_eq!(sizes[ds.pinned_communities[0]], (2631.0_f64 * 0.05).round() as usize);
+        assert_eq!(
+            sizes[ds.pinned_communities[0]],
+            (2631.0_f64 * 0.05).round() as usize
+        );
         assert_eq!(sizes[ds.pinned_communities[1]], 8); // max(80 * 0.05, 8)
     }
 
@@ -490,9 +501,16 @@ mod tests {
         let s = ds.summary();
         assert_eq!(s.reciprocity, 1.0);
         // avg out-degree = 2 * pairs / nodes ≈ 7.73.
-        assert!((s.average_out_degree - 7.73).abs() < 0.6, "{}", s.average_out_degree);
+        assert!(
+            (s.average_out_degree - 7.73).abs() < 0.6,
+            "{}",
+            s.average_out_degree
+        );
         let sizes = ds.planted.community_sizes();
-        assert_eq!(sizes[ds.pinned_communities[0]], (308.0_f64 * 0.05).round() as usize);
+        assert_eq!(
+            sizes[ds.pinned_communities[0]],
+            (308.0_f64 * 0.05).round() as usize
+        );
     }
 
     #[test]
@@ -531,7 +549,10 @@ mod tests {
         let hetero = enron_like_heterogeneous(&DatasetConfig::new(0.05, 7));
         assert_eq!(homo.graph.node_count(), hetero.graph.node_count());
         assert_eq!(homo.graph.edge_count(), hetero.graph.edge_count());
-        assert_eq!(homo.planted.community_sizes()[0], hetero.planted.community_sizes()[0]);
+        assert_eq!(
+            homo.planted.community_sizes()[0],
+            hetero.planted.community_sizes()[0]
+        );
         let max_homo = homo.summary().max_out_degree;
         let max_hetero = hetero.summary().max_out_degree;
         assert!(

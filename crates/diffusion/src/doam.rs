@@ -18,14 +18,16 @@
 //! passes and is the fast protection oracle used by the Table I
 //! coverage experiments; its agreement with the step simulator
 //! [`DoamModel::run`] is enforced by unit and property tests.
+//! [`doam_analytic_csr`] / [`doam_safe_targets_csr`] are the hot-path
+//! variants that run against a frozen snapshot with reusable BFS
+//! scratch, for callers that sweep many seed sets on one graph.
 
 use rand::Rng;
 
-use lcrb_graph::traversal::bfs_distances;
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::traversal::{bfs_distances, CsrBfsScratch, Direction};
+use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
-use crate::outcome::StateTracker;
-use crate::{DiffusionOutcome, HopRecord, SeedSets, Status, TwoCascadeModel};
+use crate::{DiffusionOutcome, HopRecord, SeedSets, SimWorkspace, Status, TwoCascadeModel};
 
 /// The DOAM model.
 ///
@@ -33,7 +35,6 @@ use crate::{DiffusionOutcome, HopRecord, SeedSets, Status, TwoCascadeModel};
 /// exists to truncate traces for like-for-like comparisons with
 /// OPOAO figures and defaults to "no limit".
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DoamModel {
     /// Maximum number of hops to simulate.
     pub max_hops: u32,
@@ -52,69 +53,99 @@ impl DoamModel {
         DoamModel { max_hops }
     }
 
-    /// Runs the deterministic step simulation.
+    /// Runs the deterministic step simulation, snapshotting the graph
+    /// and allocating a fresh workspace. Batch callers should use
+    /// [`DoamModel::run_deterministic_into`].
     ///
     /// # Panics
     ///
     /// Panics if `seeds` refers to nodes outside `graph`.
     #[must_use]
     pub fn run_deterministic(&self, graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
+        let csr = CsrGraph::from(graph);
+        let mut ws = SimWorkspace::new();
+        self.run_deterministic_into(&csr, seeds, &mut ws);
+        ws.to_outcome()
+    }
+
+    /// Allocation-free step simulation against a frozen snapshot.
+    ///
+    /// Workspace buffer roles: `frontier` holds the protector
+    /// frontier, `next_frontier` the rumor frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside the snapshot.
+    pub fn run_deterministic_into(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+    ) {
         let n = graph.node_count();
-        let mut tracker = StateTracker::from_seeds(n, seeds);
-        let mut frontier_p: Vec<NodeId> = seeds.protectors().to_vec();
-        let mut frontier_r: Vec<NodeId> = seeds.rumors().to_vec();
-        // 0 = unclaimed, 1 = R, 2 = P.
-        let mut claim: Vec<u8> = vec![0; n];
+        ws.begin(n, seeds);
+        ws.frontier.clear();
+        ws.frontier.extend_from_slice(seeds.protectors());
+        ws.next_frontier.clear();
+        ws.next_frontier.extend_from_slice(seeds.rumors());
         let mut quiescent = false;
 
         for hop in 1..=self.max_hops {
-            if frontier_p.is_empty() && frontier_r.is_empty() {
+            if ws.frontier.is_empty() && ws.next_frontier.is_empty() {
                 quiescent = true;
                 break;
             }
-            let mut new_protected = Vec::new();
-            let mut new_infected = Vec::new();
+            ws.new_protected.clear();
+            ws.new_infected.clear();
             // Protector frontier claims first (P-priority is then
             // automatic).
-            for &u in &frontier_p {
+            for i in 0..ws.frontier.len() {
+                let u = ws.frontier[i];
                 for &w in graph.out_neighbors(u) {
-                    if tracker.is_inactive(w) && claim[w.index()] == 0 {
-                        claim[w.index()] = 2;
-                        new_protected.push(w);
+                    if ws.is_inactive(w) && ws.claim[w.index()] == 0 {
+                        ws.claim[w.index()] = 2;
+                        ws.new_protected.push(w);
                     }
                 }
             }
-            for &u in &frontier_r {
+            for i in 0..ws.next_frontier.len() {
+                let u = ws.next_frontier[i];
                 for &w in graph.out_neighbors(u) {
-                    if tracker.is_inactive(w) && claim[w.index()] == 0 {
-                        claim[w.index()] = 1;
-                        new_infected.push(w);
+                    if ws.is_inactive(w) && ws.claim[w.index()] == 0 {
+                        ws.claim[w.index()] = 1;
+                        ws.new_infected.push(w);
                     }
                 }
             }
-            for &w in new_protected.iter().chain(&new_infected) {
-                claim[w.index()] = 0;
+            for i in 0..ws.new_protected.len() {
+                let w = ws.new_protected[i];
+                ws.claim[w.index()] = 0;
             }
-            tracker.activate_hop(hop, &new_protected, &new_infected);
-            frontier_p = new_protected;
-            frontier_r = new_infected;
+            for i in 0..ws.new_infected.len() {
+                let w = ws.new_infected[i];
+                ws.claim[w.index()] = 0;
+            }
+            ws.commit_hop(hop);
+            std::mem::swap(&mut ws.frontier, &mut ws.new_protected);
+            std::mem::swap(&mut ws.next_frontier, &mut ws.new_infected);
         }
-        if frontier_p.is_empty() && frontier_r.is_empty() {
+        if ws.frontier.is_empty() && ws.next_frontier.is_empty() {
             quiescent = true;
         }
-        tracker.finish(quiescent)
+        ws.set_quiescent(quiescent);
     }
 }
 
 impl TwoCascadeModel for DoamModel {
     /// DOAM is deterministic; the RNG is ignored.
-    fn run<R: Rng + ?Sized>(
+    fn run_into<R: Rng + ?Sized>(
         &self,
-        graph: &DiGraph,
+        graph: &CsrGraph,
         seeds: &SeedSets,
+        ws: &mut SimWorkspace,
         _rng: &mut R,
-    ) -> DiffusionOutcome {
-        self.run_deterministic(graph, seeds)
+    ) {
+        self.run_deterministic_into(graph, seeds, ws);
     }
 
     fn name(&self) -> &'static str {
@@ -122,32 +153,25 @@ impl TwoCascadeModel for DoamModel {
     }
 }
 
-/// Computes the DOAM outcome analytically from two multi-source BFS
-/// passes (see the module docs for the correctness argument).
-/// Produces exactly the same statuses, activation hops, and trace as
-/// [`DoamModel::run_deterministic`] with an unlimited hop budget.
-///
-/// # Panics
-///
-/// Panics if `seeds` refers to nodes outside `graph`.
-#[must_use]
-pub fn doam_analytic(graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
-    let n = graph.node_count();
-    let d_r = bfs_distances(graph, seeds.rumors());
-    let d_p = bfs_distances(graph, seeds.protectors());
+/// Shared trace/status assembly for the analytic oracle, given the
+/// two distance maps as lookups.
+fn assemble_analytic(
+    n: usize,
+    d_r: impl Fn(usize) -> Option<u32>,
+    d_p: impl Fn(usize) -> Option<u32>,
+) -> DiffusionOutcome {
     let mut status = vec![Status::Inactive; n];
     let mut activation = vec![None; n];
     let mut max_hop = 0u32;
-    for i in 0..n {
-        let (dr, dp) = (d_r[i], d_p[i]);
-        let (s, h) = match (dp, dr) {
+    for (i, (s_slot, a_slot)) in status.iter_mut().zip(activation.iter_mut()).enumerate() {
+        let (s, h) = match (d_p(i), d_r(i)) {
             (Some(p), Some(r)) if p <= r => (Status::Protected, p),
             (Some(p), None) => (Status::Protected, p),
             (_, Some(r)) => (Status::Infected, r),
             (None, None) => continue,
         };
-        status[i] = s;
-        activation[i] = Some(h);
+        *s_slot = s;
+        *a_slot = Some(h);
         max_hop = max_hop.max(h);
     }
     // Rebuild the hop trace from activation times.
@@ -189,6 +213,44 @@ pub fn doam_analytic(graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
     DiffusionOutcome::new(status, activation, trace, true)
 }
 
+/// Computes the DOAM outcome analytically from two multi-source BFS
+/// passes (see the module docs for the correctness argument).
+/// Produces exactly the same statuses, activation hops, and trace as
+/// [`DoamModel::run_deterministic`] with an unlimited hop budget.
+///
+/// # Panics
+///
+/// Panics if `seeds` refers to nodes outside `graph`.
+#[must_use]
+pub fn doam_analytic(graph: &DiGraph, seeds: &SeedSets) -> DiffusionOutcome {
+    let d_r = bfs_distances(graph, seeds.rumors());
+    let d_p = bfs_distances(graph, seeds.protectors());
+    assemble_analytic(graph.node_count(), |i| d_r[i], |i| d_p[i])
+}
+
+/// Snapshot variant of [`doam_analytic`]: runs the two BFS passes in
+/// caller-owned scratches, so sweeping many seed sets on one graph
+/// performs no per-call distance-map allocation.
+///
+/// # Panics
+///
+/// Panics if `seeds` refers to nodes outside the snapshot.
+#[must_use]
+pub fn doam_analytic_csr(
+    graph: &CsrGraph,
+    seeds: &SeedSets,
+    d_r: &mut CsrBfsScratch,
+    d_p: &mut CsrBfsScratch,
+) -> DiffusionOutcome {
+    d_r.run(graph, seeds.rumors(), Direction::Forward, u32::MAX);
+    d_p.run(graph, seeds.protectors(), Direction::Forward, u32::MAX);
+    assemble_analytic(
+        graph.node_count(),
+        |i| d_r.distance(NodeId::new(i)),
+        |i| d_p.distance(NodeId::new(i)),
+    )
+}
+
 /// Reports whether each node of `targets` would be protected (not
 /// infected) under DOAM with the given seeds — the coverage check
 /// used by the LCRB-D experiments. A target is "safe" when it is
@@ -204,6 +266,33 @@ pub fn doam_safe_targets(graph: &DiGraph, seeds: &SeedSets, targets: &[NodeId]) 
     targets
         .iter()
         .map(|&v| match (d_p[v.index()], d_r[v.index()]) {
+            (_, None) => true,
+            (Some(p), Some(r)) => p <= r,
+            (None, Some(_)) => false,
+        })
+        .collect()
+}
+
+/// Snapshot variant of [`doam_safe_targets`] with caller-owned BFS
+/// scratches.
+///
+/// # Panics
+///
+/// Panics if `seeds` or `targets` refer to nodes outside the
+/// snapshot.
+#[must_use]
+pub fn doam_safe_targets_csr(
+    graph: &CsrGraph,
+    seeds: &SeedSets,
+    targets: &[NodeId],
+    d_r: &mut CsrBfsScratch,
+    d_p: &mut CsrBfsScratch,
+) -> Vec<bool> {
+    d_r.run(graph, seeds.rumors(), Direction::Forward, u32::MAX);
+    d_p.run(graph, seeds.protectors(), Direction::Forward, u32::MAX);
+    targets
+        .iter()
+        .map(|&v| match (d_p.distance(v), d_r.distance(v)) {
             (_, None) => true,
             (Some(p), Some(r)) => p <= r,
             (None, Some(_)) => false,
@@ -259,10 +348,7 @@ mod tests {
         let g = generators::star_graph(6);
         let o = DoamModel::default().run_deterministic(&g, &seeds(&g, &[0], &[]));
         assert_eq!(o.infected_count(), 6);
-        assert!(o
-            .trace()
-            .iter()
-            .all(|r| r.hop <= 2));
+        assert!(o.trace().iter().all(|r| r.hop <= 2));
     }
 
     #[test]
@@ -322,6 +408,27 @@ mod tests {
             let ana = doam_analytic(&g, &s);
             assert_eq!(sim.statuses(), ana.statuses(), "seed {seed}");
             assert_eq!(sim.trace(), ana.trace(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn csr_oracle_matches_digraph_oracle() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = generators::gnm_directed(50, 170, &mut rng).unwrap();
+        let csr = CsrGraph::from(&g);
+        let mut d_r = CsrBfsScratch::new();
+        let mut d_p = CsrBfsScratch::new();
+        // Reuse the scratches across several seed sets.
+        for (r, p) in [(0usize, 1usize), (5, 9), (13, 2)] {
+            let s = seeds(&g, &[r], &[p]);
+            let reference = doam_analytic(&g, &s);
+            let fast = doam_analytic_csr(&csr, &s, &mut d_r, &mut d_p);
+            assert_eq!(reference, fast, "seeds ({r}, {p})");
+            let targets: Vec<NodeId> = g.nodes().collect();
+            assert_eq!(
+                doam_safe_targets(&g, &s, &targets),
+                doam_safe_targets_csr(&csr, &s, &targets, &mut d_r, &mut d_p),
+            );
         }
     }
 

@@ -12,10 +12,9 @@ use core::fmt;
 
 use rand::Rng;
 
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
-use crate::outcome::StateTracker;
-use crate::{DiffusionOutcome, SeedSets, Status, TwoCascadeModel};
+use crate::{DiffusionOutcome, SeedSets, SimWorkspace, Status, TwoCascadeModel};
 
 /// Error returned when constructing a [`CompetitiveIcModel`] with an
 /// invalid probability.
@@ -36,7 +35,6 @@ impl std::error::Error for InvalidProbabilityError {}
 /// The competitive IC model with a uniform edge activation
 /// probability.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompetitiveIcModel {
     probability: f64,
     /// Maximum number of diffusion hops.
@@ -67,10 +65,7 @@ impl CompetitiveIcModel {
     ///
     /// Returns [`InvalidProbabilityError`] if `probability` is NaN or
     /// outside `[0, 1]`.
-    pub fn with_max_hops(
-        probability: f64,
-        max_hops: u32,
-    ) -> Result<Self, InvalidProbabilityError> {
+    pub fn with_max_hops(probability: f64, max_hops: u32) -> Result<Self, InvalidProbabilityError> {
         let mut model = CompetitiveIcModel::new(probability)?;
         model.max_hops = max_hops;
         Ok(model)
@@ -95,7 +90,6 @@ impl CompetitiveIcModel {
 /// the same structure the OPOAO realizations provide (and the reason
 /// the LCRB-P greedy extends to IC; cf. Budak et al.'s EIL).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IcRealization {
     seed: u64,
 }
@@ -153,126 +147,120 @@ impl CompetitiveIcModel {
         seeds: &SeedSets,
         realization: &IcRealization,
     ) -> DiffusionOutcome {
-        let n = graph.node_count();
-        let mut tracker = StateTracker::from_seeds(n, seeds);
-        let mut frontier: Vec<NodeId> = seeds
-            .protectors()
-            .iter()
-            .chain(seeds.rumors())
-            .copied()
-            .collect();
-        let mut claim: Vec<u8> = vec![0; n];
-        let mut quiescent = false;
-        for hop in 1..=self.max_hops {
-            if frontier.is_empty() {
-                quiescent = true;
-                break;
-            }
-            let mut new_protected = Vec::new();
-            let mut new_infected = Vec::new();
-            let mut claimed: Vec<NodeId> = Vec::new();
-            for &u in &frontier {
-                let cascade = if tracker.status[u.index()] == Status::Protected {
-                    2
-                } else {
-                    1
-                };
-                for &w in graph.out_neighbors(u) {
-                    if tracker.is_inactive(w)
-                        && realization.edge_is_live(u, w, self.probability)
-                    {
-                        let slot = &mut claim[w.index()];
-                        if *slot == 0 {
-                            claimed.push(w);
-                        }
-                        *slot = (*slot).max(cascade);
-                    }
-                }
-            }
-            for &w in &claimed {
-                if claim[w.index()] == 2 {
-                    new_protected.push(w);
-                } else {
-                    new_infected.push(w);
-                }
-                claim[w.index()] = 0;
-            }
-            tracker.activate_hop(hop, &new_protected, &new_infected);
-            frontier.clear();
-            frontier.extend(new_protected);
-            frontier.extend(new_infected);
-        }
-        if frontier.is_empty() {
-            quiescent = true;
-        }
-        tracker.finish(quiescent)
+        let csr = CsrGraph::from(graph);
+        let mut ws = SimWorkspace::new();
+        self.run_realized_into(&csr, seeds, &mut ws, realization);
+        ws.to_outcome()
+    }
+
+    /// Allocation-free variant of [`CompetitiveIcModel::run_realized`]
+    /// against a frozen snapshot, writing the result into `ws`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside the snapshot.
+    pub fn run_realized_into(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+        realization: &IcRealization,
+    ) {
+        run_csr_with_transmit(graph, seeds, self.max_hops, ws, |u, w| {
+            realization.edge_is_live(u, w, self.probability)
+        });
     }
 }
 
 impl TwoCascadeModel for CompetitiveIcModel {
-    fn run<R: Rng + ?Sized>(
+    fn run_into<R: Rng + ?Sized>(
         &self,
-        graph: &DiGraph,
+        graph: &CsrGraph,
         seeds: &SeedSets,
+        ws: &mut SimWorkspace,
         rng: &mut R,
-    ) -> DiffusionOutcome {
-        let n = graph.node_count();
-        let mut tracker = StateTracker::from_seeds(n, seeds);
-        let mut frontier: Vec<NodeId> = seeds
-            .protectors()
-            .iter()
-            .chain(seeds.rumors())
-            .copied()
-            .collect();
-        let mut claim: Vec<u8> = vec![0; n]; // 0 none, 1 R, 2 P
-        let mut quiescent = false;
-
-        for hop in 1..=self.max_hops {
-            if frontier.is_empty() {
-                quiescent = true;
-                break;
-            }
-            let mut new_protected = Vec::new();
-            let mut new_infected = Vec::new();
-            let mut claimed: Vec<NodeId> = Vec::new();
-            for &u in &frontier {
-                let cascade = if tracker.status[u.index()] == Status::Protected {
-                    2
-                } else {
-                    1
-                };
-                for &w in graph.out_neighbors(u) {
-                    if tracker.is_inactive(w) && rng.gen_bool(self.probability) {
-                        let slot = &mut claim[w.index()];
-                        if *slot == 0 {
-                            claimed.push(w);
-                        }
-                        *slot = (*slot).max(cascade);
-                    }
-                }
-            }
-            for &w in &claimed {
-                if claim[w.index()] == 2 {
-                    new_protected.push(w);
-                } else {
-                    new_infected.push(w);
-                }
-                claim[w.index()] = 0;
-            }
-            tracker.activate_hop(hop, &new_protected, &new_infected);
-            frontier.clear();
-            frontier.extend(new_protected);
-            frontier.extend(new_infected);
-        }
-        if frontier.is_empty() {
-            quiescent = true;
-        }
-        tracker.finish(quiescent)
+    ) {
+        run_csr_with_transmit(graph, seeds, self.max_hops, ws, |_, _| {
+            rng.gen_bool(self.probability)
+        });
     }
 
     fn name(&self) -> &'static str {
         "competitive-ic"
     }
+}
+
+/// The shared competitive-IC engine: `transmit(u, w)` decides whether
+/// active node `u` activates its inactive out-neighbor `w` this hop
+/// (a fresh coin flip for the stochastic model, a live-edge lookup
+/// for realizations). `transmit` is only consulted for inactive
+/// targets, preserving the legacy RNG draw order.
+fn run_csr_with_transmit<F>(
+    graph: &CsrGraph,
+    seeds: &SeedSets,
+    max_hops: u32,
+    ws: &mut SimWorkspace,
+    mut transmit: F,
+) where
+    F: FnMut(NodeId, NodeId) -> bool,
+{
+    let n = graph.node_count();
+    ws.begin(n, seeds);
+    ws.frontier.clear();
+    ws.frontier
+        .extend(seeds.protectors().iter().chain(seeds.rumors()).copied());
+    let mut quiescent = false;
+
+    for hop in 1..=max_hops {
+        if ws.frontier.is_empty() {
+            quiescent = true;
+            break;
+        }
+        ws.claimed.clear();
+        for i in 0..ws.frontier.len() {
+            let u = ws.frontier[i];
+            let cascade = if ws.status(u) == Status::Protected {
+                2
+            } else {
+                1
+            };
+            for &w in graph.out_neighbors(u) {
+                if ws.is_inactive(w) && transmit(u, w) {
+                    let slot = &mut ws.claim[w.index()];
+                    if *slot == 0 {
+                        ws.claimed.push(w);
+                    }
+                    // Protector priority: P (2) overrides R (1).
+                    *slot = (*slot).max(cascade);
+                }
+            }
+        }
+        ws.new_protected.clear();
+        ws.new_infected.clear();
+        for i in 0..ws.claimed.len() {
+            let w = ws.claimed[i];
+            if ws.claim[w.index()] == 2 {
+                ws.new_protected.push(w);
+            } else {
+                ws.new_infected.push(w);
+            }
+            ws.claim[w.index()] = 0;
+        }
+        ws.commit_hop(hop);
+        ws.frontier.clear();
+        for i in 0..ws.new_protected.len() {
+            let w = ws.new_protected[i];
+            ws.frontier.push(w);
+        }
+        for i in 0..ws.new_infected.len() {
+            let w = ws.new_infected[i];
+            ws.frontier.push(w);
+        }
+    }
+    if ws.frontier.is_empty() {
+        quiescent = true;
+    }
+    ws.set_quiescent(quiescent);
 }
 
 #[cfg(test)]
@@ -370,10 +358,29 @@ mod tests {
         let b = m.run_realized(&g, &s, &real);
         assert_eq!(a.statuses(), b.statuses());
         // Extremes behave like the stochastic model.
-        let all = CompetitiveIcModel::new(1.0).unwrap().run_realized(&g, &s, &real);
+        let all = CompetitiveIcModel::new(1.0)
+            .unwrap()
+            .run_realized(&g, &s, &real);
         assert_eq!(all.infected_count() + all.protected_count(), 12);
-        let none = CompetitiveIcModel::new(0.0).unwrap().run_realized(&g, &s, &real);
+        let none = CompetitiveIcModel::new(0.0)
+            .unwrap()
+            .run_realized(&g, &s, &real);
         assert_eq!(none.infected_count(), 1);
+    }
+
+    #[test]
+    fn realized_into_matches_wrapper_across_reuses() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::gnm_directed(40, 160, &mut rng).unwrap();
+        let csr = CsrGraph::from(&g);
+        let m = CompetitiveIcModel::new(0.35).unwrap();
+        let s = seeds(&g, &[0, 3], &[1]);
+        let mut ws = SimWorkspace::new();
+        for i in 0..8 {
+            let real = IcRealization::new(i);
+            m.run_realized_into(&csr, &s, &mut ws, &real);
+            assert_eq!(ws.to_outcome(), m.run_realized(&g, &s, &real), "real {i}");
+        }
     }
 
     #[test]
@@ -401,7 +408,10 @@ mod tests {
         let s = seeds(&g, &[0, 1], &[2]);
         let runs = 400;
         let realized: f64 = (0..runs)
-            .map(|i| m.run_realized(&g, &s, &IcRealization::new(i)).infected_count())
+            .map(|i| {
+                m.run_realized(&g, &s, &IcRealization::new(i))
+                    .infected_count()
+            })
             .sum::<usize>() as f64
             / runs as f64;
         let stochastic: f64 = (0..runs)

@@ -19,10 +19,17 @@
 //!   OPOAO choices (the paper's timestamp/random-graph construction,
 //!   §V-A), which make the greedy objective a deterministic
 //!   submodular function per realization;
-//! - [`monte_carlo`]: a crossbeam-parallel, seed-reproducible
+//! - [`monte_carlo`]: a thread-parallel, seed-reproducible
 //!   Monte-Carlo driver over any [`TwoCascadeModel`];
 //! - [`CompetitiveIcModel`] / [`CompetitiveLtModel`]: the competitive
 //!   IC / LT extension models from the paper's related work.
+//!
+//! The hot path is CSR-first: every model simulates against a frozen
+//! [`lcrb_graph::CsrGraph`] snapshot with per-run scratch in a
+//! reusable, epoch-versioned [`SimWorkspace`] (see
+//! [`TwoCascadeModel::run_into`] and [`monte_carlo_csr`]) — snapshot
+//! once, simulate many, zero steady-state allocation. The
+//! `DiGraph`-based entry points remain as thin one-off wrappers.
 //!
 //! ## Example
 //!
@@ -55,15 +62,19 @@ mod realization;
 mod seeds;
 mod sis;
 mod timestamps;
+mod workspace;
 
-pub use doam::{doam_analytic, doam_safe_targets, DoamModel};
+pub use doam::{
+    doam_analytic, doam_analytic_csr, doam_safe_targets, doam_safe_targets_csr, DoamModel,
+};
 pub use ic::{CompetitiveIcModel, IcRealization, InvalidProbabilityError};
 pub use lt::CompetitiveLtModel;
 pub use model::TwoCascadeModel;
-pub use montecarlo::{monte_carlo, AveragedOutcome, MonteCarloConfig};
+pub use montecarlo::{monte_carlo, monte_carlo_csr, AveragedOutcome, MonteCarloConfig};
 pub use opoao::{OpoaoModel, PAPER_OPOAO_HOPS};
 pub use outcome::{DiffusionOutcome, HopRecord, Status};
 pub use realization::OpoaoRealization;
 pub use seeds::{SeedError, SeedSets};
 pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};
 pub use timestamps::{run_opoao_timestamped, EdgeStamp, TimestampedOutcome};
+pub use workspace::SimWorkspace;

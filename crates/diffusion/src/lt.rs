@@ -11,14 +11,12 @@
 
 use rand::Rng;
 
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::{CsrGraph, NodeId};
 
-use crate::outcome::StateTracker;
-use crate::{DiffusionOutcome, SeedSets, TwoCascadeModel};
+use crate::{SeedSets, SimWorkspace, TwoCascadeModel};
 
 /// The competitive LT model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompetitiveLtModel {
     /// Maximum number of diffusion hops.
     pub max_hops: u32,
@@ -38,133 +36,111 @@ impl CompetitiveLtModel {
     }
 }
 
-impl TwoCascadeModel for CompetitiveLtModel {
-    fn run<R: Rng + ?Sized>(
-        &self,
-        graph: &DiGraph,
-        seeds: &SeedSets,
-        rng: &mut R,
-    ) -> DiffusionOutcome {
-        let n = graph.node_count();
-        let mut tracker = StateTracker::from_seeds(n, seeds);
-        // θ_v ∈ (0, 1]: a zero threshold would activate nodes with no
-        // active in-neighbors.
-        let thresholds: Vec<f64> = (0..n).map(|_| 1.0 - rng.gen::<f64>()).collect();
-        let mut weight_p = vec![0.0f64; n];
-        let mut weight_r = vec![0.0f64; n];
-        // Nodes whose accumulated weight changed and are still
-        // inactive (deduplicated via `dirty` flags).
-        let mut candidates: Vec<NodeId> = Vec::new();
-        let mut dirty = vec![false; n];
-
-        let push_influence = |u: NodeId,
-                                  protected: bool,
-                                  weight_p: &mut Vec<f64>,
-                                  weight_r: &mut Vec<f64>,
-                                  candidates: &mut Vec<NodeId>,
-                                  dirty: &mut Vec<bool>,
-                                  tracker: &StateTracker| {
-            for &w in graph.out_neighbors(u) {
-                if !tracker.is_inactive(w) {
-                    continue;
-                }
-                let share = 1.0 / graph.in_degree(w) as f64;
-                if protected {
-                    weight_p[w.index()] += share;
-                } else {
-                    weight_r[w.index()] += share;
-                }
-                if !dirty[w.index()] {
-                    dirty[w.index()] = true;
-                    candidates.push(w);
-                }
-            }
-        };
-
-        for &p in seeds.protectors() {
-            push_influence(
-                p,
-                true,
-                &mut weight_p,
-                &mut weight_r,
-                &mut candidates,
-                &mut dirty,
-                &tracker,
-            );
+/// Adds `u`'s influence to its inactive out-neighbors, registering
+/// newly touched nodes in the candidate list (`ws.frontier`,
+/// deduplicated via the `ws.flags` dirty bits).
+fn push_influence(graph: &CsrGraph, ws: &mut SimWorkspace, u: NodeId, protected: bool) {
+    for &w in graph.out_neighbors(u) {
+        if !ws.is_inactive(w) {
+            continue;
         }
-        for &r in seeds.rumors() {
-            push_influence(
-                r,
-                false,
-                &mut weight_p,
-                &mut weight_r,
-                &mut candidates,
-                &mut dirty,
-                &tracker,
-            );
+        let share = 1.0 / graph.in_degree(w) as f64;
+        if protected {
+            ws.weight_p[w.index()] += share;
+        } else {
+            ws.weight_r[w.index()] += share;
+        }
+        if !ws.flags[w.index()] {
+            ws.flags[w.index()] = true;
+            ws.frontier.push(w);
+        }
+    }
+}
+
+impl TwoCascadeModel for CompetitiveLtModel {
+    fn run_into<R: Rng + ?Sized>(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+        rng: &mut R,
+    ) {
+        let n = graph.node_count();
+        ws.begin(n, seeds);
+        // θ_v ∈ (0, 1]: a zero threshold would activate nodes with no
+        // active in-neighbors. Drawn in node order so the RNG stream
+        // is independent of seed placement.
+        ws.thresholds.clear();
+        ws.thresholds.extend((0..n).map(|_| 1.0 - rng.gen::<f64>()));
+        ws.weight_p.clear();
+        ws.weight_p.resize(n, 0.0);
+        ws.weight_r.clear();
+        ws.weight_r.resize(n, 0.0);
+        ws.flags.clear();
+        ws.flags.resize(n, false);
+        // `frontier` holds the candidates: inactive nodes whose
+        // accumulated weight changed.
+        ws.frontier.clear();
+
+        for i in 0..seeds.protectors().len() {
+            let p = seeds.protectors()[i];
+            push_influence(graph, ws, p, true);
+        }
+        for i in 0..seeds.rumors().len() {
+            let r = seeds.rumors()[i];
+            push_influence(graph, ws, r, false);
         }
 
         let mut quiescent = false;
         for hop in 1..=self.max_hops {
-            if candidates.is_empty() {
+            if ws.frontier.is_empty() {
                 quiescent = true;
                 break;
             }
-            let mut new_protected = Vec::new();
-            let mut new_infected = Vec::new();
-            let mut still_waiting = Vec::new();
-            for &v in &candidates {
-                dirty[v.index()] = false;
-                if !tracker.is_inactive(v) {
+            ws.new_protected.clear();
+            ws.new_infected.clear();
+            // `next_frontier` collects the still-waiting candidates.
+            ws.next_frontier.clear();
+            for i in 0..ws.frontier.len() {
+                let v = ws.frontier[i];
+                ws.flags[v.index()] = false;
+                if !ws.is_inactive(v) {
                     continue;
                 }
-                let (wp, wr) = (weight_p[v.index()], weight_r[v.index()]);
-                if wp >= thresholds[v.index()] {
-                    new_protected.push(v);
-                } else if wp + wr >= thresholds[v.index()] {
-                    new_infected.push(v);
+                let (wp, wr) = (ws.weight_p[v.index()], ws.weight_r[v.index()]);
+                if wp >= ws.thresholds[v.index()] {
+                    ws.new_protected.push(v);
+                } else if wp + wr >= ws.thresholds[v.index()] {
+                    ws.new_infected.push(v);
                 } else {
-                    still_waiting.push(v);
+                    ws.next_frontier.push(v);
                 }
             }
-            if new_protected.is_empty() && new_infected.is_empty() {
-                tracker.activate_hop(hop, &[], &[]);
+            if ws.new_protected.is_empty() && ws.new_infected.is_empty() {
+                ws.commit_hop(hop);
                 quiescent = true;
                 break;
             }
-            tracker.activate_hop(hop, &new_protected, &new_infected);
-            candidates.clear();
-            for &v in &still_waiting {
-                dirty[v.index()] = true;
-                candidates.push(v);
+            ws.commit_hop(hop);
+            ws.frontier.clear();
+            for i in 0..ws.next_frontier.len() {
+                let v = ws.next_frontier[i];
+                ws.flags[v.index()] = true;
+                ws.frontier.push(v);
             }
-            for &v in &new_protected {
-                push_influence(
-                    v,
-                    true,
-                    &mut weight_p,
-                    &mut weight_r,
-                    &mut candidates,
-                    &mut dirty,
-                    &tracker,
-                );
+            for i in 0..ws.new_protected.len() {
+                let v = ws.new_protected[i];
+                push_influence(graph, ws, v, true);
             }
-            for &v in &new_infected {
-                push_influence(
-                    v,
-                    false,
-                    &mut weight_p,
-                    &mut weight_r,
-                    &mut candidates,
-                    &mut dirty,
-                    &tracker,
-                );
+            for i in 0..ws.new_infected.len() {
+                let v = ws.new_infected[i];
+                push_influence(graph, ws, v, false);
             }
         }
-        if candidates.is_empty() {
+        if ws.frontier.is_empty() {
             quiescent = true;
         }
-        tracker.finish(quiescent)
+        ws.set_quiescent(quiescent);
     }
 
     fn name(&self) -> &'static str {
@@ -176,7 +152,7 @@ impl TwoCascadeModel for CompetitiveLtModel {
 mod tests {
     use super::*;
     use crate::Status;
-    use lcrb_graph::generators;
+    use lcrb_graph::{generators, DiGraph};
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -258,6 +234,22 @@ mod tests {
         let o = CompetitiveLtModel::new(3).run(&g, &seeds(&g, &[0], &[]), &mut rng);
         assert_eq!(o.infected_count(), 4);
         assert!(!o.is_quiescent());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let g = generators::gnm_directed(40, 160, &mut r).unwrap();
+        let csr = CsrGraph::from(&g);
+        let s = seeds(&g, &[0, 1], &[2]);
+        let model = CompetitiveLtModel::default();
+        let mut ws = SimWorkspace::new();
+        for seed in 0..6u64 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            model.run_into(&csr, &s, &mut ws, &mut a);
+            assert_eq!(ws.to_outcome(), model.run(&g, &s, &mut b), "seed {seed}");
+        }
     }
 
     #[test]

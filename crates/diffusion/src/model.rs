@@ -3,20 +3,47 @@
 
 use rand::Rng;
 
-use lcrb_graph::DiGraph;
+use lcrb_graph::{CsrGraph, DiGraph};
 
-use crate::{DiffusionOutcome, SeedSets};
+use crate::{DiffusionOutcome, SeedSets, SimWorkspace};
 
 /// A diffusion process in which a rumor cascade R and a protector
 /// cascade P compete on a directed graph, with P given priority on
 /// simultaneous arrival (§III of the paper).
+///
+/// The hot path is [`TwoCascadeModel::run_into`]: simulations execute
+/// against a frozen [`CsrGraph`] snapshot and write their result into
+/// a caller-owned [`SimWorkspace`], so repeated runs (Monte-Carlo
+/// batches, greedy objective evaluations) perform no per-run heap
+/// allocation. [`TwoCascadeModel::run`] is a convenience wrapper that
+/// snapshots the graph and allocates a throwaway workspace.
 ///
 /// Implementations must be deterministic functions of `(graph,
 /// seeds, rng stream)` so that Monte-Carlo runs are reproducible from
 /// a seed. Deterministic models (e.g. DOAM) simply ignore the RNG.
 pub trait TwoCascadeModel {
     /// Runs one diffusion to completion (or to the model's hop
-    /// budget) and reports the outcome.
+    /// budget), writing the result into `ws`. Read it back through
+    /// the workspace accessors ([`SimWorkspace::status`],
+    /// [`SimWorkspace::trace`], ...) or materialize it with
+    /// [`SimWorkspace::to_outcome`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `seeds` was validated against a
+    /// different graph than the one `graph` snapshots.
+    fn run_into<R: Rng + ?Sized>(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+        rng: &mut R,
+    );
+
+    /// Runs one diffusion on a [`DiGraph`], snapshotting it and
+    /// allocating a fresh workspace. Convenience wrapper over
+    /// [`TwoCascadeModel::run_into`] for one-off runs; batch callers
+    /// should snapshot once and reuse a workspace instead.
     ///
     /// # Panics
     ///
@@ -27,7 +54,12 @@ pub trait TwoCascadeModel {
         graph: &DiGraph,
         seeds: &SeedSets,
         rng: &mut R,
-    ) -> DiffusionOutcome;
+    ) -> DiffusionOutcome {
+        let csr = CsrGraph::from(graph);
+        let mut ws = SimWorkspace::new();
+        self.run_into(&csr, seeds, &mut ws, rng);
+        ws.to_outcome()
+    }
 
     /// Short stable name for reports ("opoao", "doam", ...).
     fn name(&self) -> &'static str;

@@ -2,19 +2,18 @@
 //!
 //! The paper's Figures 4–6 report "the average results obtained by
 //! repeated Monte Carlo simulation"; this module is that averaging
-//! loop, parallelized across threads with crossbeam's scoped threads
-//! and reproducible from a single base seed.
+//! loop, parallelized across std scoped threads and reproducible from
+//! a single base seed.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use lcrb_graph::DiGraph;
+use lcrb_graph::{CsrGraph, DiGraph};
 
-use crate::{DiffusionOutcome, SeedSets, TwoCascadeModel};
+use crate::{HopRecord, SeedSets, SimWorkspace, TwoCascadeModel};
 
 /// Configuration for [`monte_carlo`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MonteCarloConfig {
     /// Number of independent simulation runs.
     pub runs: usize,
@@ -54,7 +53,6 @@ impl MonteCarloConfig {
 /// infected nodes after `h` hops — exactly the series plotted in the
 /// paper's figures.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AveragedOutcome {
     /// Number of runs averaged.
     pub runs: usize,
@@ -100,8 +98,9 @@ struct SeriesAccumulator {
 }
 
 impl SeriesAccumulator {
-    fn add_outcome(&mut self, outcome: &DiffusionOutcome) {
-        let trace = outcome.trace();
+    /// Accumulates one run directly from its hop trace — the
+    /// workspace path, which never materializes a `DiffusionOutcome`.
+    fn add_trace(&mut self, trace: &[HopRecord]) {
         let len = trace.len();
         if len > self.infected.len() {
             // Newly revealed hops start from the sums accumulated so
@@ -111,8 +110,8 @@ impl SeriesAccumulator {
             // All prior runs were flat after their last hop, so the
             // carried-forward sum is exactly the previous tail.
             let grow = len - self.infected.len();
-            self.infected.extend(std::iter::repeat(pad_i).take(grow));
-            self.protected.extend(std::iter::repeat(pad_p).take(grow));
+            self.infected.extend(std::iter::repeat_n(pad_i, grow));
+            self.protected.extend(std::iter::repeat_n(pad_p, grow));
         }
         for (h, rec) in trace.iter().enumerate() {
             self.infected[h] += rec.total_infected as f64;
@@ -208,6 +207,28 @@ pub fn monte_carlo<M>(
 where
     M: TwoCascadeModel + Sync,
 {
+    let csr = CsrGraph::from(graph);
+    monte_carlo_csr(model, &csr, seeds, config)
+}
+
+/// [`monte_carlo`] against a pre-built snapshot — the hot path.
+///
+/// Each worker thread owns one long-lived [`SimWorkspace`] reused for
+/// all of its runs and accumulates hop series straight from the
+/// workspace trace, so the steady-state loop performs no per-run heap
+/// allocation. Results are identical to [`monte_carlo`] on the source
+/// graph, and deterministic for a fixed `config` regardless of
+/// `threads`.
+#[must_use]
+pub fn monte_carlo_csr<M>(
+    model: &M,
+    graph: &CsrGraph,
+    seeds: &SeedSets,
+    config: &MonteCarloConfig,
+) -> AveragedOutcome
+where
+    M: TwoCascadeModel + Sync,
+{
     let runs = config.runs;
     if runs == 0 {
         return AveragedOutcome {
@@ -220,22 +241,26 @@ where
     let threads = config.effective_threads().min(runs).max(1);
     if threads == 1 {
         let mut acc = SeriesAccumulator::default();
+        let mut ws = SimWorkspace::with_capacity(graph.node_count());
         for run in 0..runs {
             let mut rng = SmallRng::seed_from_u64(run_seed(config.base_seed, run));
-            acc.add_outcome(&model.run(graph, seeds, &mut rng));
+            model.run_into(graph, seeds, &mut ws, &mut rng);
+            acc.add_trace(ws.trace());
         }
         return acc.into_average();
     }
-    let accumulators = crossbeam::thread::scope(|scope| {
+    let accumulators = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let base_seed = config.base_seed;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut acc = SeriesAccumulator::default();
+                let mut ws = SimWorkspace::with_capacity(graph.node_count());
                 let mut run = t;
                 while run < runs {
                     let mut rng = SmallRng::seed_from_u64(run_seed(base_seed, run));
-                    acc.add_outcome(&model.run(graph, seeds, &mut rng));
+                    model.run_into(graph, seeds, &mut ws, &mut rng);
+                    acc.add_trace(ws.trace());
                     run += threads;
                 }
                 acc
@@ -245,8 +270,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("monte carlo worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     accumulators
         .into_iter()
@@ -302,21 +326,9 @@ mod tests {
             threads: 1,
         };
         let a = monte_carlo(&model, &g, &s, &base);
-        let b = monte_carlo(
-            &model,
-            &g,
-            &s,
-            &MonteCarloConfig {
-                threads: 4,
-                ..base
-            },
-        );
+        let b = monte_carlo(&model, &g, &s, &MonteCarloConfig { threads: 4, ..base });
         assert_eq!(a.runs, b.runs);
-        for (x, y) in a
-            .mean_infected_by_hop
-            .iter()
-            .zip(&b.mean_infected_by_hop)
-        {
+        for (x, y) in a.mean_infected_by_hop.iter().zip(&b.mean_infected_by_hop) {
             assert!((x - y).abs() < 1e-9);
         }
     }
@@ -343,10 +355,7 @@ mod tests {
             assert!(w[1] >= w[0] - 1e-12);
         }
         assert!(avg.mean_infected_at_hop(0) >= 1.0 - 1e-12);
-        assert_eq!(
-            avg.mean_infected_at_hop(10_000),
-            avg.mean_final_infected()
-        );
+        assert_eq!(avg.mean_infected_at_hop(10_000), avg.mean_final_infected());
     }
 
     #[test]
@@ -379,16 +388,24 @@ mod tests {
         };
         let a = monte_carlo(&model, &g, &s, &cfg);
         assert!(a.std_final_infected > 0.0);
-        let b = monte_carlo(
-            &model,
-            &g,
-            &s,
-            &MonteCarloConfig {
-                threads: 4,
-                ..cfg
-            },
-        );
+        let b = monte_carlo(&model, &g, &s, &MonteCarloConfig { threads: 4, ..cfg });
         assert!((a.std_final_infected - b.std_final_infected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csr_path_matches_digraph_path() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::gnm_directed(60, 240, &mut rng).unwrap();
+        let csr = lcrb_graph::CsrGraph::from(&g);
+        let s = seeds(&g, &[0, 1], &[2]);
+        let cfg = MonteCarloConfig {
+            runs: 32,
+            base_seed: 4,
+            threads: 2,
+        };
+        let a = monte_carlo(&OpoaoModel::new(12), &g, &s, &cfg);
+        let b = monte_carlo_csr(&OpoaoModel::new(12), &csr, &s, &cfg);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -11,17 +11,15 @@
 
 use rand::Rng;
 
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
-use crate::outcome::StateTracker;
-use crate::{DiffusionOutcome, OpoaoRealization, SeedSets, Status, TwoCascadeModel};
+use crate::{DiffusionOutcome, OpoaoRealization, SeedSets, SimWorkspace, Status, TwoCascadeModel};
 
 /// Number of hops the paper simulates in Figures 4–6.
 pub const PAPER_OPOAO_HOPS: u32 = 31;
 
 /// The OPOAO model configured with a hop budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpoaoModel {
     /// Maximum number of diffusion hops to simulate. The run also
     /// stops early when no active node has an inactive out-neighbor.
@@ -60,22 +58,44 @@ impl OpoaoModel {
         seeds: &SeedSets,
         realization: &OpoaoRealization,
     ) -> DiffusionOutcome {
-        run_with_choices(graph, seeds, self.max_hops, |node, hop, degree| {
+        let csr = CsrGraph::from(graph);
+        let mut ws = SimWorkspace::new();
+        self.run_realized_into(&csr, seeds, &mut ws, realization);
+        ws.to_outcome()
+    }
+
+    /// Allocation-free variant of [`OpoaoModel::run_realized`]: runs
+    /// against a frozen snapshot, writing the result into `ws`. This
+    /// is the inner loop of the greedy objective, which evaluates
+    /// thousands of protector sets against the same realizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside the snapshot.
+    pub fn run_realized_into(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+        realization: &OpoaoRealization,
+    ) {
+        run_csr_with_choices(graph, seeds, self.max_hops, ws, |node, hop, degree| {
             realization.choice(node, hop, degree)
-        })
+        });
     }
 }
 
 impl TwoCascadeModel for OpoaoModel {
-    fn run<R: Rng + ?Sized>(
+    fn run_into<R: Rng + ?Sized>(
         &self,
-        graph: &DiGraph,
+        graph: &CsrGraph,
         seeds: &SeedSets,
+        ws: &mut SimWorkspace,
         rng: &mut R,
-    ) -> DiffusionOutcome {
-        run_with_choices(graph, seeds, self.max_hops, |_, _, degree| {
+    ) {
+        run_csr_with_choices(graph, seeds, self.max_hops, ws, |_, _, degree| {
             rng.gen_range(0..degree)
-        })
+        });
     }
 
     fn name(&self) -> &'static str {
@@ -85,91 +105,95 @@ impl TwoCascadeModel for OpoaoModel {
 
 /// The shared OPOAO engine: `choose(node, hop, out_degree)` returns
 /// the index of the out-neighbor targeted by `node` at `hop`.
-fn run_with_choices<F>(
-    graph: &DiGraph,
+///
+/// Workspace buffer roles: `frontier` is the live set (active nodes
+/// that can still activate someone), `counters[u]` the number of
+/// inactive out-neighbors of `u`, `claimed` the staging list of nodes
+/// claimed this hop.
+fn run_csr_with_choices<F>(
+    graph: &CsrGraph,
     seeds: &SeedSets,
     max_hops: u32,
+    ws: &mut SimWorkspace,
     mut choose: F,
-) -> DiffusionOutcome
-where
+) where
     F: FnMut(NodeId, u32, usize) -> usize,
 {
     let n = graph.node_count();
-    let mut tracker = StateTracker::from_seeds(n, seeds);
+    ws.begin(n, seeds);
 
-    // inactive_out[u] = number of inactive out-neighbors of u. A node
+    // counters[u] = number of inactive out-neighbors of u. A node
     // with zero can never cause another activation and retires from
     // the live set.
-    let mut inactive_out: Vec<u32> = (0..n)
-        .map(|i| graph.out_degree(NodeId::new(i)) as u32)
-        .collect();
-    let retire = |w: NodeId, inactive_out: &mut Vec<u32>| {
-        for &u in graph.in_neighbors(w) {
-            inactive_out[u.index()] -= 1;
-        }
-    };
+    ws.counters.clear();
+    ws.counters.extend_from_slice(graph.out_degrees());
     for &s in seeds.rumors().iter().chain(seeds.protectors()) {
-        retire(s, &mut inactive_out);
+        for &u in graph.in_neighbors(s) {
+            ws.counters[u.index()] -= 1;
+        }
     }
 
-    let mut live: Vec<NodeId> = seeds
-        .rumors()
-        .iter()
-        .chain(seeds.protectors())
-        .copied()
-        .filter(|&v| graph.out_degree(v) > 0)
-        .collect();
+    ws.frontier.clear();
+    ws.frontier.extend(
+        seeds
+            .rumors()
+            .iter()
+            .chain(seeds.protectors())
+            .copied()
+            .filter(|&v| graph.out_degree(v) > 0),
+    );
 
-    // Claim staging: 0 = unclaimed, 1 = claimed by R, 2 = claimed by P.
-    let mut claim: Vec<u8> = vec![0; n];
-    let mut claimed: Vec<NodeId> = Vec::new();
     let mut quiescent = false;
-
     for hop in 1..=max_hops {
-        live.retain(|&u| inactive_out[u.index()] > 0);
-        if live.is_empty() {
+        let counters = &ws.counters;
+        ws.frontier.retain(|&u| counters[u.index()] > 0);
+        if ws.frontier.is_empty() {
             quiescent = true;
             break;
         }
-        claimed.clear();
-        for &u in &live {
+        ws.claimed.clear();
+        for i in 0..ws.frontier.len() {
+            let u = ws.frontier[i];
             let degree = graph.out_degree(u);
             let idx = choose(u, hop, degree);
             debug_assert!(idx < degree, "choice index out of range");
             let target = graph.out_neighbors(u)[idx];
-            if !tracker.is_inactive(target) {
+            if !ws.is_inactive(target) {
                 continue;
             }
-            let cascade = if tracker.status[u.index()] == Status::Protected {
+            let cascade = if ws.status(u) == Status::Protected {
                 2
             } else {
                 1
             };
-            let slot = &mut claim[target.index()];
+            let slot = &mut ws.claim[target.index()];
             if *slot == 0 {
-                claimed.push(target);
+                ws.claimed.push(target);
             }
             // Protector priority: P (2) overrides R (1).
             *slot = (*slot).max(cascade);
         }
-        let mut new_protected = Vec::new();
-        let mut new_infected = Vec::new();
-        for &w in &claimed {
-            let slot = claim[w.index()];
-            claim[w.index()] = 0;
+        ws.new_protected.clear();
+        ws.new_infected.clear();
+        for i in 0..ws.claimed.len() {
+            let w = ws.claimed[i];
+            let slot = ws.claim[w.index()];
+            ws.claim[w.index()] = 0;
             if slot == 2 {
-                new_protected.push(w);
+                ws.new_protected.push(w);
             } else {
-                new_infected.push(w);
+                ws.new_infected.push(w);
             }
-            retire(w, &mut inactive_out);
+            for &u in graph.in_neighbors(w) {
+                ws.counters[u.index()] -= 1;
+            }
             if graph.out_degree(w) > 0 {
-                live.push(w);
+                ws.frontier.push(w);
             }
         }
-        tracker.activate_hop(hop, &new_protected, &new_infected);
+        ws.commit_hop(hop);
     }
-    tracker.finish(quiescent)
+    ws.set_quiescent(quiescent);
 }
 
 #[cfg(test)]
@@ -200,8 +224,7 @@ mod tests {
     fn protector_priority_on_simultaneous_claim() {
         // 0 (rumor) -> 2 <- 1 (protector): both claim node 2 at hop 1.
         let g = lcrb_graph::DiGraph::from_edges(3, [(0, 2), (1, 2)]).unwrap();
-        let seeds =
-            SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(1)]).unwrap();
+        let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(1)]).unwrap();
         for seed in 0..20 {
             let o = OpoaoModel::new(5).run(&g, &seeds, &mut rng(seed));
             assert_eq!(o.status(NodeId::new(2)), Status::Protected);
@@ -215,8 +238,7 @@ mod tests {
         // protected... no wait, 2 is a *seed*, so only 1 can be
         // infected and 3 stays for P to claim.
         let g = lcrb_graph::generators::path_graph(4);
-        let seeds =
-            SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(2)]).unwrap();
+        let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(2)]).unwrap();
         let o = OpoaoModel::new(10).run(&g, &seeds, &mut rng(1));
         assert_eq!(o.status(NodeId::new(1)), Status::Infected);
         assert_eq!(o.status(NodeId::new(3)), Status::Protected);
@@ -288,6 +310,22 @@ mod tests {
         let b = model.run_realized(&g, &seeds, &real);
         assert_eq!(a.statuses(), b.statuses());
         assert_eq!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn realized_into_reuses_workspace_and_matches_wrapper() {
+        let mut r = rng(9);
+        let g = lcrb_graph::generators::gnm_directed(40, 160, &mut r).unwrap();
+        let csr = CsrGraph::from(&g);
+        let seeds = SeedSets::new(&g, vec![NodeId::new(0)], vec![NodeId::new(1)]).unwrap();
+        let model = OpoaoModel::default();
+        let mut ws = SimWorkspace::new();
+        for s in 0..8 {
+            let real = OpoaoRealization::new(s);
+            model.run_realized_into(&csr, &seeds, &mut ws, &real);
+            let fresh = model.run_realized(&g, &seeds, &real);
+            assert_eq!(ws.to_outcome(), fresh, "realization {s}");
+        }
     }
 
     #[test]

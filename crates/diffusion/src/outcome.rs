@@ -9,7 +9,6 @@ use crate::SeedSets;
 /// (§III of the paper: infected by the rumor cascade R, protected by
 /// the protector cascade P, or still inactive).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Status {
     /// Not reached by either cascade.
     #[default]
@@ -45,7 +44,6 @@ impl Status {
 
 /// Activity counts after one diffusion hop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HopRecord {
     /// Hop number (0 = seed placement).
     pub hop: u32,
@@ -60,8 +58,7 @@ pub struct HopRecord {
 }
 
 /// The complete result of one two-cascade diffusion run.
-#[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DiffusionOutcome {
     status: Vec<Status>,
     activation_hop: Vec<Option<u32>>,
@@ -130,17 +127,13 @@ impl DiffusionOutcome {
     /// Total number of infected nodes.
     #[must_use]
     pub fn infected_count(&self) -> usize {
-        self.trace
-            .last()
-            .map_or(0, |r| r.total_infected)
+        self.trace.last().map_or(0, |r| r.total_infected)
     }
 
     /// Total number of protected nodes.
     #[must_use]
     pub fn protected_count(&self) -> usize {
-        self.trace
-            .last()
-            .map_or(0, |r| r.total_protected)
+        self.trace.last().map_or(0, |r| r.total_protected)
     }
 
     /// Ids of all infected nodes, in increasing order.
@@ -327,7 +320,10 @@ mod tests {
         let mut t = StateTracker::from_seeds(6, &seeds(&g));
         t.activate_hop(1, &[NodeId::new(5)], &[NodeId::new(3), NodeId::new(4)]);
         let o = t.finish(true);
-        assert_eq!(o.infected_nodes(), vec![NodeId::new(0), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(
+            o.infected_nodes(),
+            vec![NodeId::new(0), NodeId::new(3), NodeId::new(4)]
+        );
         assert_eq!(o.protected_nodes(), vec![NodeId::new(1), NodeId::new(5)]);
     }
 

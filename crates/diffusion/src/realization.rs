@@ -35,7 +35,6 @@ use lcrb_graph::NodeId;
 /// assert!(c1 < 7);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpoaoRealization {
     seed: u64,
 }
@@ -118,9 +117,7 @@ mod tests {
         assert!(per_hop.iter().any(|&c| c != per_hop[0]));
         let r2 = OpoaoRealization::new(2);
         let cross: Vec<bool> = (0..64)
-            .map(|v| {
-                r.choice(NodeId::from_raw(v), 3, 10) != r2.choice(NodeId::from_raw(v), 3, 10)
-            })
+            .map(|v| r.choice(NodeId::from_raw(v), 3, 10) != r2.choice(NodeId::from_raw(v), 3, 10))
             .collect();
         assert!(cross.iter().any(|&b| b));
     }

@@ -61,7 +61,6 @@ impl std::error::Error for SeedError {}
 /// # }
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SeedSets {
     rumors: Vec<NodeId>,
     protectors: Vec<NodeId>,
@@ -180,8 +179,7 @@ mod tests {
     #[test]
     fn overlap_is_rejected() {
         let g = graph();
-        let err =
-            SeedSets::new(&g, vec![NodeId::new(1)], vec![NodeId::new(1)]).unwrap_err();
+        let err = SeedSets::new(&g, vec![NodeId::new(1)], vec![NodeId::new(1)]).unwrap_err();
         assert_eq!(
             err,
             SeedError::Overlap {

@@ -17,14 +17,13 @@
 
 use rand::Rng;
 
-use lcrb_graph::DiGraph;
+use lcrb_graph::{CsrGraph, DiGraph};
 
 use crate::ic::InvalidProbabilityError;
-use crate::SeedSets;
+use crate::{SeedSets, SimWorkspace};
 
 /// The state of a node in the competitive SIS process.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SisState {
     /// Holding neither the rumor nor the truth.
     #[default]
@@ -37,7 +36,6 @@ pub enum SisState {
 
 /// Population counts at one step of a SIS run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SisRecord {
     /// Step number (0 = seed placement).
     pub step: u32,
@@ -48,8 +46,7 @@ pub struct SisRecord {
 }
 
 /// The result of a competitive SIS run.
-#[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SisOutcome {
     /// Node states after the final step.
     pub final_states: Vec<SisState>,
@@ -73,7 +70,6 @@ impl SisOutcome {
 
 /// The competitive SIS model.
 #[derive(Clone, Copy, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CompetitiveSisModel {
     beta_rumor: f64,
     beta_protector: f64,
@@ -128,7 +124,9 @@ impl CompetitiveSisModel {
         self.recovery
     }
 
-    /// Runs the process for `steps` steps.
+    /// Runs the process for `steps` steps, snapshotting the graph and
+    /// allocating a fresh workspace. Batch callers should use
+    /// [`CompetitiveSisModel::run_into`].
     ///
     /// # Panics
     ///
@@ -139,46 +137,71 @@ impl CompetitiveSisModel {
         seeds: &SeedSets,
         rng: &mut R,
     ) -> SisOutcome {
+        let csr = CsrGraph::from(graph);
+        let mut ws = SimWorkspace::new();
+        self.run_into(&csr, seeds, &mut ws, rng)
+    }
+
+    /// Runs the process against a frozen snapshot, keeping the hot
+    /// double-buffered state in `ws` so repeated runs only allocate
+    /// for the returned outcome (trace + final states).
+    ///
+    /// SIS is non-progressive, so it returns its own [`SisOutcome`]
+    /// rather than populating the workspace's progressive-cascade
+    /// fields; `ws` is purely scratch here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` refers to nodes outside the snapshot.
+    pub fn run_into<R: Rng + ?Sized>(
+        &self,
+        graph: &CsrGraph,
+        seeds: &SeedSets,
+        ws: &mut SimWorkspace,
+        rng: &mut R,
+    ) -> SisOutcome {
         let n = graph.node_count();
-        let mut state = vec![SisState::Susceptible; n];
+        ws.sis_state.clear();
+        ws.sis_state.resize(n, SisState::Susceptible);
         for &r in seeds.rumors() {
-            state[r.index()] = SisState::Infected;
+            ws.sis_state[r.index()] = SisState::Infected;
         }
         for &p in seeds.protectors() {
-            state[p.index()] = SisState::Protected;
+            ws.sis_state[p.index()] = SisState::Protected;
         }
+        ws.sis_next.clear();
+        ws.sis_next.extend_from_slice(&ws.sis_state);
         let count = |state: &[SisState]| {
             let infected = state.iter().filter(|&&s| s == SisState::Infected).count();
             let protected = state.iter().filter(|&&s| s == SisState::Protected).count();
             (infected, protected)
         };
-        let (i0, p0) = count(&state);
-        let mut trace = vec![SisRecord {
+        let (i0, p0) = count(&ws.sis_state);
+        let mut trace = Vec::with_capacity(self.steps as usize + 1);
+        trace.push(SisRecord {
             step: 0,
             infected: i0,
             protected: p0,
-        }];
-        let mut next = state.clone();
+        });
 
         for step in 1..=self.steps {
             for v in graph.nodes() {
-                match state[v.index()] {
+                match ws.sis_state[v.index()] {
                     SisState::Susceptible => {
                         let (mut inf_nbrs, mut prot_nbrs) = (0u32, 0u32);
                         for &u in graph.in_neighbors(v) {
-                            match state[u.index()] {
+                            match ws.sis_state[u.index()] {
                                 SisState::Infected => inf_nbrs += 1,
                                 SisState::Protected => prot_nbrs += 1,
                                 SisState::Susceptible => {}
                             }
                         }
                         let p_inf = 1.0 - (1.0 - self.beta_rumor).powi(inf_nbrs as i32);
-                        let p_prot =
-                            1.0 - (1.0 - self.beta_protector).powi(prot_nbrs as i32);
+                        let p_prot = 1.0 - (1.0 - self.beta_protector).powi(prot_nbrs as i32);
                         let got_prot = prot_nbrs > 0 && rng.gen_bool(p_prot);
                         let got_inf = inf_nbrs > 0 && rng.gen_bool(p_inf);
                         // Protector priority on simultaneous contraction.
-                        next[v.index()] = if got_prot {
+                        ws.sis_next[v.index()] = if got_prot {
                             SisState::Protected
                         } else if got_inf {
                             SisState::Infected
@@ -187,17 +210,17 @@ impl CompetitiveSisModel {
                         };
                     }
                     active => {
-                        next[v.index()] = if self.recovery > 0.0 && rng.gen_bool(self.recovery)
-                        {
-                            SisState::Susceptible
-                        } else {
-                            active
-                        };
+                        ws.sis_next[v.index()] =
+                            if self.recovery > 0.0 && rng.gen_bool(self.recovery) {
+                                SisState::Susceptible
+                            } else {
+                                active
+                            };
                     }
                 }
             }
-            std::mem::swap(&mut state, &mut next);
-            let (i, p) = count(&state);
+            std::mem::swap(&mut ws.sis_state, &mut ws.sis_next);
+            let (i, p) = count(&ws.sis_state);
             trace.push(SisRecord {
                 step,
                 infected: i,
@@ -205,7 +228,7 @@ impl CompetitiveSisModel {
             });
         }
         SisOutcome {
-            final_states: state,
+            final_states: ws.sis_state.clone(),
             trace,
         }
     }
@@ -281,15 +304,8 @@ mod tests {
         let g = generators::gnm_directed(200, 1600, &mut rng).unwrap();
         let m = CompetitiveSisModel::new(0.3, 0.0, 0.2, 60).unwrap();
         let o = m.run(&g, &seeds(&g, &[0, 1, 2], &[]), &mut rng);
-        let tail_avg: f64 = o.trace[40..]
-            .iter()
-            .map(|r| r.infected as f64)
-            .sum::<f64>()
-            / 21.0;
-        assert!(
-            tail_avg > 40.0,
-            "endemic prevalence too low: {tail_avg}"
-        );
+        let tail_avg: f64 = o.trace[40..].iter().map(|r| r.infected as f64).sum::<f64>() / 21.0;
+        assert!(tail_avg > 40.0, "endemic prevalence too low: {tail_avg}");
         // And never exceeds the population.
         assert!(o.trace.iter().all(|r| r.infected + r.protected <= 200));
     }
@@ -302,11 +318,7 @@ mod tests {
             let m = CompetitiveSisModel::new(0.25, 0.4, 0.2, 80).unwrap();
             let s = seeds(&g, &[0, 1], protectors);
             let o = m.run(&g, &s, rng);
-            o.trace[60..]
-                .iter()
-                .map(|r| r.infected as f64)
-                .sum::<f64>()
-                / 21.0
+            o.trace[60..].iter().map(|r| r.infected as f64).sum::<f64>() / 21.0
         };
         let without = run(&[], &mut rng);
         let with = run(&[10, 11, 12, 13, 14, 15, 16, 17, 18, 19], &mut rng);
@@ -326,6 +338,23 @@ mod tests {
         assert_eq!(o.final_states.len(), 5);
         for (i, r) in o.trace.iter().enumerate() {
             assert_eq!(r.step as usize, i);
+        }
+    }
+
+    #[test]
+    fn run_into_matches_run_across_workspace_reuses() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let g = generators::gnm_directed(50, 300, &mut r).unwrap();
+        let csr = CsrGraph::from(&g);
+        let m = CompetitiveSisModel::new(0.3, 0.2, 0.1, 20).unwrap();
+        let s = seeds(&g, &[0, 1], &[2]);
+        let mut ws = SimWorkspace::new();
+        for seed in 0..5u64 {
+            let mut a = SmallRng::seed_from_u64(seed);
+            let mut b = SmallRng::seed_from_u64(seed);
+            let fast = m.run_into(&csr, &s, &mut ws, &mut a);
+            let reference = m.run(&g, &s, &mut b);
+            assert_eq!(fast, reference, "seed {seed}");
         }
     }
 

@@ -25,7 +25,6 @@ use crate::{DiffusionOutcome, OpoaoRealization, SeedSets, Status};
 /// A single edge timestamp: the cascade originating at `seed` used
 /// the edge at step `hop` (the paper's `hop_seed` notation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeStamp {
     /// The originating seed (a rumor or protector originator).
     pub seed: NodeId,
@@ -53,9 +52,7 @@ impl TimestampedOutcome {
     /// first-stamped order; empty if the edge was never chosen.
     #[must_use]
     pub fn stamps_on(&self, u: NodeId, v: NodeId) -> &[EdgeStamp] {
-        self.stamps
-            .get(&(u, v))
-            .map_or(&[], Vec::as_slice)
+        self.stamps.get(&(u, v)).map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct edges that received at least one stamp.
@@ -66,9 +63,7 @@ impl TimestampedOutcome {
 
     /// Iterates over all stamped edges as `((source, target),
     /// stamps)`.
-    pub fn stamped_edges(
-        &self,
-    ) -> impl Iterator<Item = (&(NodeId, NodeId), &Vec<EdgeStamp>)> {
+    pub fn stamped_edges(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Vec<EdgeStamp>)> {
         self.stamps.iter()
     }
 
@@ -274,7 +269,13 @@ mod tests {
         let s = seeds(&g, &[0], &[]);
         let run = run_opoao_timestamped(&g, &s, 10, &OpoaoRealization::new(1));
         let st = run.stamps_on(NodeId::new(0), NodeId::new(1));
-        assert_eq!(st, &[EdgeStamp { seed: NodeId::new(0), hop: 1 }]);
+        assert_eq!(
+            st,
+            &[EdgeStamp {
+                seed: NodeId::new(0),
+                hop: 1
+            }]
+        );
     }
 
     #[test]
@@ -289,7 +290,11 @@ mod tests {
         for (&(u, _v), stamps) in run.stamped_edges() {
             for st in stamps {
                 let hop_u = run.outcome.activation_hop(u).expect("stamper is active");
-                assert!(hop_u < st.hop, "stamp at {} but {u} active at {hop_u}", st.hop);
+                assert!(
+                    hop_u < st.hop,
+                    "stamp at {} but {u} active at {hop_u}",
+                    st.hop
+                );
                 assert_eq!(run.attribution[u.index()], Some(st.seed));
             }
         }
@@ -306,9 +311,7 @@ mod tests {
             let s = seeds(&g, &[0, 1], &[2, 3]);
             let run = run_opoao_timestamped(&g, &s, 25, &OpoaoRealization::new(graph_seed));
             for v in g.nodes() {
-                if !run.outcome.status(v).is_protected()
-                    || s.protectors().contains(&v)
-                {
+                if !run.outcome.status(v).is_protected() || s.protectors().contains(&v) {
                     continue;
                 }
                 let p = run

@@ -6,10 +6,10 @@ use rand::SeedableRng;
 
 use lcrb_diffusion::{
     doam_analytic, doam_safe_targets, monte_carlo, CompetitiveIcModel, CompetitiveLtModel,
-    CompetitiveSisModel, DoamModel, IcRealization, MonteCarloConfig, OpoaoModel,
-    OpoaoRealization, SeedSets, SisState, Status, TwoCascadeModel,
+    CompetitiveSisModel, DoamModel, IcRealization, MonteCarloConfig, OpoaoModel, OpoaoRealization,
+    SeedSets, SimWorkspace, SisState, Status, TwoCascadeModel,
 };
-use lcrb_graph::{DiGraph, NodeId};
+use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
 /// Strategy: a random graph plus disjoint rumor/protector seeds.
 fn arb_instance() -> impl Strategy<Value = (DiGraph, SeedSets)> {
@@ -63,7 +63,8 @@ proptest! {
     #[test]
     fn seeds_keep_their_status_under_every_model((g, seeds) in arb_instance(), seed in 0u64..64) {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let models: Vec<Box<dyn Fn(&mut SmallRng) -> lcrb_diffusion::DiffusionOutcome>> = vec![
+        type ModelRun<'a> = Box<dyn Fn(&mut SmallRng) -> lcrb_diffusion::DiffusionOutcome + 'a>;
+        let models: Vec<ModelRun> = vec![
             Box::new(|r| OpoaoModel::default().run(&g, &seeds, r)),
             Box::new(|r| DoamModel::default().run(&g, &seeds, r)),
             Box::new(|r| CompetitiveIcModel::new(0.4).unwrap().run(&g, &seeds, r)),
@@ -205,5 +206,74 @@ proptest! {
         let b = model.run(&g, &seeds, &mut r2);
         prop_assert_eq!(a.final_states, b.final_states);
         prop_assert_eq!(a.trace, b.trace);
+    }
+}
+
+// run_into ≡ run equivalence and workspace hygiene. `run` delegates
+// to `run_into` with a *fresh* workspace; comparing it against a
+// workspace reused across arbitrary earlier runs proves the epoch
+// reset leaks nothing between runs.
+proptest! {
+    #[test]
+    fn run_into_with_reused_workspace_matches_fresh_run_for_every_model(
+        (g, seeds) in arb_instance(),
+        seed in 0u64..1024,
+    ) {
+        let csr = CsrGraph::from(&g);
+        let mut ws = SimWorkspace::new();
+        // Dirty the workspace with an unrelated run first.
+        let mut dirty_rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        OpoaoModel::new(5).run_into(&csr, &seeds, &mut ws, &mut dirty_rng);
+
+        let opoao = OpoaoModel::default();
+        let doam = DoamModel::default();
+        let ic = CompetitiveIcModel::new(0.4).unwrap();
+        let lt = CompetitiveLtModel::default();
+        macro_rules! check {
+            ($model:expr, $name:literal) => {{
+                let mut a = SmallRng::seed_from_u64(seed);
+                let mut b = SmallRng::seed_from_u64(seed);
+                $model.run_into(&csr, &seeds, &mut ws, &mut a);
+                let fresh = $model.run(&g, &seeds, &mut b);
+                prop_assert_eq!(ws.to_outcome(), fresh, $name);
+            }};
+        }
+        check!(opoao, "opoao");
+        check!(doam, "doam");
+        check!(ic, "competitive-ic");
+        check!(lt, "competitive-lt");
+
+        let sis = CompetitiveSisModel::new(0.3, 0.2, 0.1, 12).unwrap();
+        let mut a = SmallRng::seed_from_u64(seed);
+        let mut b = SmallRng::seed_from_u64(seed);
+        let fast = sis.run_into(&csr, &seeds, &mut ws, &mut a);
+        prop_assert_eq!(fast, sis.run(&g, &seeds, &mut b), "sis");
+    }
+
+    #[test]
+    fn workspace_reuse_never_leaks_state_between_runs(
+        (g, seeds) in arb_instance(),
+        seed in 0u64..1024,
+    ) {
+        // Run a sequence of different (model, seed) pairs through ONE
+        // workspace and check each against an independent fresh run.
+        // Any stale status, claim, counter, or trace surviving a
+        // `begin()` would surface as a mismatch.
+        let csr = CsrGraph::from(&g);
+        let mut ws = SimWorkspace::new();
+        for i in 0..6u64 {
+            let s = seed.wrapping_mul(31).wrapping_add(i);
+            let mut a = SmallRng::seed_from_u64(s);
+            let mut b = SmallRng::seed_from_u64(s);
+            if i % 2 == 0 {
+                OpoaoModel::new(8).run_into(&csr, &seeds, &mut ws, &mut a);
+                let fresh = OpoaoModel::new(8).run(&g, &seeds, &mut b);
+                prop_assert_eq!(ws.to_outcome(), fresh);
+            } else {
+                CompetitiveIcModel::new(0.5).unwrap().run_into(&csr, &seeds, &mut ws, &mut a);
+                let fresh = CompetitiveIcModel::new(0.5).unwrap().run(&g, &seeds, &mut b);
+                prop_assert_eq!(ws.to_outcome(), fresh);
+            }
+        }
     }
 }

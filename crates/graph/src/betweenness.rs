@@ -69,8 +69,7 @@ pub fn betweenness_centrality(g: &DiGraph) -> Vec<f64> {
         // Dependency accumulation in reverse BFS order.
         while let Some(w) = stack.pop() {
             for &v in &preds[w.index()] {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != s {
                 centrality[w.index()] += delta[w.index()];
@@ -107,8 +106,8 @@ mod tests {
         let g = star_graph(5);
         let b = betweenness_centrality(&g);
         assert_eq!(b[0], 12.0);
-        for leaf in 1..5 {
-            assert_eq!(b[leaf], 0.0);
+        for &leaf in &b[1..5] {
+            assert_eq!(leaf, 0.0);
         }
     }
 
@@ -162,10 +161,7 @@ mod tests {
         for s in g.nodes() {
             let dist = bfs_distances(&g, &[s]);
             // σ from s.
-            let mut order: Vec<NodeId> = g
-                .nodes()
-                .filter(|v| dist[v.index()].is_some())
-                .collect();
+            let mut order: Vec<NodeId> = g.nodes().filter(|v| dist[v.index()].is_some()).collect();
             order.sort_by_key(|v| dist[v.index()].unwrap());
             let mut sigma = vec![0.0f64; n];
             sigma[s.index()] = 1.0;

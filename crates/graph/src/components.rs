@@ -102,8 +102,7 @@ pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
             } else {
                 frames.pop();
                 if let Some(&(parent, _)) = frames.last() {
-                    lowlink[parent.index()] =
-                        lowlink[parent.index()].min(lowlink[v.index()]);
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
                 }
                 if lowlink[v.index()] == index[v.index()] {
                     let mut component = Vec::new();
@@ -180,8 +179,7 @@ mod tests {
     #[test]
     fn scc_mixed_structure() {
         // Two 2-cycles joined by a one-way edge plus an isolated node.
-        let g =
-            DiGraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]).unwrap();
         let mut sccs = strongly_connected_components(&g);
         for c in &mut sccs {
             c.sort_unstable();

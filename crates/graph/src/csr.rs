@@ -7,9 +7,14 @@ use crate::{DiGraph, NodeId};
 ///
 /// Monte-Carlo diffusion spends nearly all of its time scanning
 /// neighbor lists; `CsrGraph` packs every adjacency list into two flat
-/// arrays so those scans touch contiguous memory. The snapshot is
-/// read-only: mutate the source [`DiGraph`] and re-freeze if the
-/// network changes.
+/// arrays so those scans touch contiguous memory, and keeps dense
+/// degree arrays so per-node degree lookups never touch the offset
+/// arrays twice. The snapshot is read-only: mutate the source
+/// [`DiGraph`] and re-freeze if the network changes.
+///
+/// This is the substrate of the simulation engine: build the snapshot
+/// once per problem instance (see [`CsrGraph::from_digraph`]), then run
+/// thousands of simulations against it with reusable workspaces.
 ///
 /// # Examples
 ///
@@ -21,19 +26,30 @@ use crate::{DiGraph, NodeId};
 /// let csr = CsrGraph::from(&g);
 /// assert_eq!(csr.out_neighbors(NodeId::new(0)).len(), 2);
 /// assert_eq!(csr.in_neighbors(NodeId::new(2)).len(), 2);
+/// assert_eq!(csr.out_degrees(), &[2, 1, 0]);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CsrGraph {
     out_offsets: Vec<u32>,
     out_targets: Vec<NodeId>,
     in_offsets: Vec<u32>,
     in_sources: Vec<NodeId>,
+    out_degrees: Vec<u32>,
+    in_degrees: Vec<u32>,
 }
 
 impl CsrGraph {
+    /// Builds a snapshot from a [`DiGraph`]; alias of the
+    /// [`From<&DiGraph>`](#impl-From%3C%26DiGraph%3E-for-CsrGraph)
+    /// conversion that reads better at call sites building snapshots
+    /// explicitly.
+    #[must_use]
+    pub fn from_digraph(g: &DiGraph) -> Self {
+        CsrGraph::from(g)
+    }
+
     /// Number of nodes.
     #[inline]
     #[must_use]
@@ -84,7 +100,7 @@ impl CsrGraph {
     #[inline]
     #[must_use]
     pub fn out_degree(&self, node: NodeId) -> usize {
-        self.out_neighbors(node).len()
+        self.out_degrees[node.index()] as usize
     }
 
     /// In-degree of `node`.
@@ -95,7 +111,21 @@ impl CsrGraph {
     #[inline]
     #[must_use]
     pub fn in_degree(&self, node: NodeId) -> usize {
-        self.in_neighbors(node).len()
+        self.in_degrees[node.index()] as usize
+    }
+
+    /// Dense out-degree array indexed by node id.
+    #[inline]
+    #[must_use]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// Dense in-degree array indexed by node id.
+    #[inline]
+    #[must_use]
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
     }
 
     /// Iterates over all node ids.
@@ -112,19 +142,25 @@ impl From<&DiGraph> for CsrGraph {
         let mut out_targets = Vec::with_capacity(m);
         let mut in_offsets = Vec::with_capacity(n + 1);
         let mut in_sources = Vec::with_capacity(m);
+        let mut out_degrees = Vec::with_capacity(n);
+        let mut in_degrees = Vec::with_capacity(n);
         out_offsets.push(0);
         in_offsets.push(0);
         for v in g.nodes() {
             out_targets.extend_from_slice(g.out_neighbors(v));
             out_offsets.push(out_targets.len() as u32);
+            out_degrees.push(g.out_degree(v) as u32);
             in_sources.extend_from_slice(g.in_neighbors(v));
             in_offsets.push(in_sources.len() as u32);
+            in_degrees.push(g.in_degree(v) as u32);
         }
         CsrGraph {
             out_offsets,
             out_targets,
             in_offsets,
             in_sources,
+            out_degrees,
+            in_degrees,
         }
     }
 }
@@ -148,12 +184,29 @@ mod tests {
     }
 
     #[test]
+    fn degree_arrays_match_slice_lengths() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (2, 0), (3, 0)]).unwrap();
+        let csr = CsrGraph::from_digraph(&g);
+        for v in g.nodes() {
+            assert_eq!(
+                csr.out_degrees()[v.index()] as usize,
+                csr.out_neighbors(v).len()
+            );
+            assert_eq!(
+                csr.in_degrees()[v.index()] as usize,
+                csr.in_neighbors(v).len()
+            );
+        }
+    }
+
+    #[test]
     fn empty_graph_snapshot() {
         let g = DiGraph::new();
         let csr = CsrGraph::from(&g);
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.edge_count(), 0);
         assert_eq!(csr.nodes().count(), 0);
+        assert!(csr.out_degrees().is_empty());
     }
 
     #[test]

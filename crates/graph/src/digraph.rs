@@ -34,12 +34,10 @@ use crate::{GraphError, NodeId};
 /// # }
 /// ```
 #[derive(Clone, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DiGraph {
     out: Vec<Vec<NodeId>>,
     ins: Vec<Vec<NodeId>>,
     edge_count: usize,
-    #[cfg_attr(feature = "serde", serde(skip, default))]
     edge_set: HashSet<u64>,
 }
 
@@ -299,11 +297,7 @@ impl DiGraph {
             out: self.ins.clone(),
             ins: self.out.clone(),
             edge_count: self.edge_count,
-            edge_set: self
-                .edge_set
-                .iter()
-                .map(|k| (k << 32) | (k >> 32))
-                .collect(),
+            edge_set: self.edge_set.iter().map(|k| k.rotate_right(32)).collect(),
         }
     }
 
@@ -356,20 +350,17 @@ impl DiGraph {
         }
     }
 
-    /// Rebuilds the duplicate-edge index after deserialization.
+    /// Rebuilds the duplicate-edge index from the adjacency lists.
     ///
-    /// The `serde` representation skips the internal hash index; call
-    /// this after deserializing if you intend to mutate the graph or
-    /// call [`DiGraph::has_edge`].
+    /// Useful after reconstructing a graph from external storage that
+    /// does not carry the internal hash index; call this before
+    /// mutating the graph or calling [`DiGraph::has_edge`].
     pub fn rebuild_edge_index(&mut self) {
         self.edge_set = self
             .out
             .iter()
             .enumerate()
-            .flat_map(|(u, nbrs)| {
-                nbrs.iter()
-                    .map(move |&v| edge_key(NodeId::new(u), v))
-            })
+            .flat_map(|(u, nbrs)| nbrs.iter().map(move |&v| edge_key(NodeId::new(u), v)))
             .collect();
     }
 }

@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn closeness_degenerate_graphs() {
-        assert_eq!(harmonic_closeness_in(&DiGraph::with_nodes(1), NodeId::new(0)), 0.0);
+        assert_eq!(
+            harmonic_closeness_in(&DiGraph::with_nodes(1), NodeId::new(0)),
+            0.0
+        );
         let g = DiGraph::with_nodes(3);
         assert_eq!(harmonic_closeness_in(&g, NodeId::new(1)), 0.0);
     }

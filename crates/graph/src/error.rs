@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn parse_error_from_io() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e = ParseEdgeListError::from(io);
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());

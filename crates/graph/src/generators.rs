@@ -113,8 +113,8 @@ fn unordered_pair(n: usize, idx: usize) -> (usize, usize) {
     let idxf = idx as f64;
     let nf = n as f64;
     // u is the largest integer with u*nf - u*(u+1)/2 <= idx.
-    let mut u = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idxf).sqrt()) / 2.0)
-        .floor() as usize;
+    let mut u =
+        ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * idxf).sqrt()) / 2.0).floor() as usize;
     // Guard against floating-point boundary slips.
     loop {
         let start = u * n - u * (u + 1) / 2;
@@ -308,7 +308,7 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<DiGraph, GeneratorError> {
     check_probability(beta)?;
-    if k == 0 || k % 2 != 0 {
+    if k == 0 || !k.is_multiple_of(2) {
         return Err(GeneratorError::InvalidParameter {
             message: "watts–strogatz requires a positive even k",
         });
@@ -368,7 +368,7 @@ pub fn planted_partition<R: Rng + ?Sized>(
 ) -> Result<(DiGraph, Vec<usize>), GeneratorError> {
     check_probability(p_in)?;
     check_probability(p_out)?;
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return Err(GeneratorError::InvalidParameter {
             message: "planted partition blocks must be non-empty",
         });
@@ -380,7 +380,7 @@ pub fn planted_partition<R: Rng + ?Sized>(
         let mut offset = 0;
         for (b, &s) in sizes.iter().enumerate() {
             starts.push(offset);
-            labels.extend(std::iter::repeat(b).take(s));
+            labels.extend(std::iter::repeat_n(b, s));
             offset += s;
         }
     }
@@ -453,7 +453,7 @@ pub fn community_gnm<R: Rng + ?Sized>(
             message: "sizes and intra_edges must have the same length",
         });
     }
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return Err(GeneratorError::InvalidParameter {
             message: "community blocks must be non-empty",
         });
@@ -465,7 +465,7 @@ pub fn community_gnm<R: Rng + ?Sized>(
         let mut offset = 0;
         for (b, &s) in sizes.iter().enumerate() {
             starts.push(offset);
-            labels.extend(std::iter::repeat(b).take(s));
+            labels.extend(std::iter::repeat_n(b, s));
             offset += s;
         }
     }
@@ -605,7 +605,7 @@ pub fn community_chung_lu<R: Rng + ?Sized>(
     symmetric: bool,
     rng: &mut R,
 ) -> Result<(DiGraph, Vec<usize>), GeneratorError> {
-    if !(exponent > 1.0) {
+    if exponent.is_nan() || exponent <= 1.0 {
         return Err(GeneratorError::InvalidParameter {
             message: "chung–lu exponent must be greater than 1",
         });
@@ -615,7 +615,7 @@ pub fn community_chung_lu<R: Rng + ?Sized>(
             message: "sizes and intra_edges must have the same length",
         });
     }
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return Err(GeneratorError::InvalidParameter {
             message: "community blocks must be non-empty",
         });
@@ -627,7 +627,7 @@ pub fn community_chung_lu<R: Rng + ?Sized>(
         let mut offset = 0;
         for (b, &s) in sizes.iter().enumerate() {
             starts.push(offset);
-            labels.extend(std::iter::repeat(b).take(s));
+            labels.extend(std::iter::repeat_n(b, s));
             offset += s;
         }
     }
@@ -682,7 +682,10 @@ pub fn community_chung_lu<R: Rng + ?Sized>(
         let total = *prefix.last().expect("non-empty prefix");
         let x = rng.gen_range(0.0..total);
         // partition_point: first index with prefix[i] > x; node is i-1.
-        prefix.partition_point(|&p| p <= x).saturating_sub(1).min(prefix.len() - 2)
+        prefix
+            .partition_point(|&p| p <= x)
+            .saturating_sub(1)
+            .min(prefix.len() - 2)
     };
 
     let mut g = DiGraph::with_nodes(n);
@@ -978,8 +981,7 @@ mod tests {
     #[test]
     fn community_gnm_exact_budgets() {
         let mut r = rng(10);
-        let (g, labels) =
-            community_gnm(&[40, 60], &[100, 200], 30, false, &mut r).unwrap();
+        let (g, labels) = community_gnm(&[40, 60], &[100, 200], 30, false, &mut r).unwrap();
         let (mut intra, mut inter) = (0usize, 0usize);
         for (u, v) in g.edges() {
             if labels[u.index()] == labels[v.index()] {
@@ -1070,17 +1072,13 @@ mod tests {
         // Heavy tail: the max degree clearly exceeds the average.
         let avg = g.edge_count() as f64 / g.node_count() as f64;
         let max_deg = g.nodes().map(|v| g.out_degree(v)).max().unwrap();
-        assert!(
-            max_deg as f64 > 3.5 * avg,
-            "max {max_deg} vs avg {avg}"
-        );
+        assert!(max_deg as f64 > 3.5 * avg, "max {max_deg} vs avg {avg}");
     }
 
     #[test]
     fn community_chung_lu_symmetric_mode() {
         let mut r = rng(32);
-        let (g, _) =
-            community_chung_lu(&[50, 50], &[120, 120], 30, 2.5, true, &mut r).unwrap();
+        let (g, _) = community_chung_lu(&[50, 50], &[120, 120], 30, 2.5, true, &mut r).unwrap();
         assert_eq!(g.edge_count(), 2 * (120 + 120 + 30));
         for (u, v) in g.edges() {
             assert!(g.has_edge(v, u));

@@ -24,10 +24,7 @@ impl LoadedGraph {
     /// Looks up the dense id assigned to an original label.
     #[must_use]
     pub fn id_of(&self, label: &str) -> Option<NodeId> {
-        self.labels
-            .iter()
-            .position(|l| l == label)
-            .map(NodeId::new)
+        self.labels.iter().position(|l| l == label).map(NodeId::new)
     }
 }
 
@@ -154,9 +151,7 @@ mod tests {
     fn ids_follow_first_appearance() {
         let loaded = read_edge_list("5 3\n3 9\n".as_bytes()).unwrap();
         assert_eq!(loaded.labels, vec!["5", "3", "9"]);
-        assert!(loaded
-            .graph
-            .has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(loaded.graph.has_edge(NodeId::new(0), NodeId::new(1)));
     }
 
     #[test]

@@ -193,7 +193,15 @@ mod tests {
         }
         assert_eq!(d.core_of(four), 1);
         assert_eq!(d.core_of(five), 1);
-        assert_eq!(d.k_core(3), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            d.k_core(3),
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
     }
 
     #[test]

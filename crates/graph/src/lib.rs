@@ -41,20 +41,15 @@
 //! # Ok(())
 //! # }
 //! ```
-//!
-//! Enable the `serde` feature to (de)serialize [`DiGraph`],
-//! [`CsrGraph`], [`NodeId`], and [`metrics::GraphSummary`]; call
-//! [`DiGraph::rebuild_edge_index`] after deserializing a graph you
-//! intend to mutate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod betweenness;
 pub mod components;
-pub mod distance;
 mod csr;
 mod digraph;
+pub mod distance;
 mod error;
 pub mod generators;
 pub mod io;

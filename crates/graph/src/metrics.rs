@@ -89,7 +89,6 @@ pub fn global_clustering_coefficient(g: &DiGraph) -> f64 {
 /// A one-struct summary of the metrics above, convenient for logging
 /// dataset calibration.
 #[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GraphSummary {
     /// Node count.
     pub nodes: usize,

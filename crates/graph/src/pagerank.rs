@@ -101,11 +101,7 @@ pub fn pagerank(g: &DiGraph, config: &PageRankConfig) -> PageRank {
                 }
             }
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         core::mem::swap(&mut rank, &mut next);
         if delta < config.tolerance {
             converged = true;

@@ -20,7 +20,7 @@ pub enum Direction {
 
 impl Direction {
     #[inline]
-    fn neighbors<'a>(self, g: &'a DiGraph, v: NodeId) -> &'a [NodeId] {
+    fn neighbors(self, g: &DiGraph, v: NodeId) -> &[NodeId] {
         match self {
             Direction::Forward => g.out_neighbors(v),
             Direction::Backward => g.in_neighbors(v),
@@ -219,7 +219,7 @@ pub fn relax_with_source(g: &DiGraph, dist: &mut [Option<u32>], source: NodeId) 
         source.index() < g.node_count(),
         "bfs source {source} out of bounds"
     );
-    let better = |cur: Option<u32>, cand: u32| cur.map_or(true, |c| cand < c);
+    let better = |cur: Option<u32>, cand: u32| cur.is_none_or(|c| cand < c);
     if !better(dist[source.index()], 0) {
         return;
     }
@@ -333,10 +333,7 @@ mod tests {
     fn single_source_line_distances() {
         let g = line(5);
         let d = bfs_distances(&g, &[NodeId::new(0)]);
-        assert_eq!(
-            d,
-            vec![Some(0), Some(1), Some(2), Some(3), Some(4)]
-        );
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
     }
 
     #[test]
@@ -390,7 +387,9 @@ mod tests {
     #[test]
     fn tree_parents_and_paths() {
         let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
-        let t = bfs_tree(&g, &[NodeId::new(0)], Direction::Forward, u32::MAX, |_| true);
+        let t = bfs_tree(&g, &[NodeId::new(0)], Direction::Forward, u32::MAX, |_| {
+            true
+        });
         assert_eq!(t.distance[4], Some(3));
         let path = t.path_to(NodeId::new(4)).unwrap();
         assert_eq!(path.len(), 4);
@@ -406,7 +405,9 @@ mod tests {
     #[test]
     fn tree_order_is_level_order() {
         let g = line(4);
-        let t = bfs_tree(&g, &[NodeId::new(0)], Direction::Forward, u32::MAX, |_| true);
+        let t = bfs_tree(&g, &[NodeId::new(0)], Direction::Forward, u32::MAX, |_| {
+            true
+        });
         let depths: Vec<u32> = t
             .order
             .iter()

@@ -97,7 +97,11 @@ pub struct CycleError {
 
 impl core::fmt::Display for CycleError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "graph contains a directed cycle through node {}", self.node)
+        write!(
+            f,
+            "graph contains a directed cycle through node {}",
+            self.node
+        )
     }
 }
 

@@ -125,13 +125,13 @@ impl UnionFind {
         let mut label_of_root = vec![usize::MAX; n];
         let mut labels = vec![0; n];
         let mut next = 0;
-        for x in 0..n {
+        for (x, label) in labels.iter_mut().enumerate() {
             let r = self.find(x);
             if label_of_root[r] == usize::MAX {
                 label_of_root[r] = next;
                 next += 1;
             }
-            labels[x] = label_of_root[r];
+            *label = label_of_root[r];
         }
         labels
     }

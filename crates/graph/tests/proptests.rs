@@ -4,15 +4,13 @@ use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use lcrb_graph::components::{
-    strongly_connected_components, weakly_connected_labels,
-};
+use lcrb_graph::components::{strongly_connected_components, weakly_connected_labels};
 use lcrb_graph::distance::{eccentricity, harmonic_closeness_in};
 use lcrb_graph::generators;
 use lcrb_graph::kcore::core_decomposition;
 use lcrb_graph::pagerank::{pagerank, PageRankConfig};
 use lcrb_graph::traversal::{
-    bfs_distances, relax_with_source, reverse_bfs_distances, is_reachable,
+    bfs_distances, is_reachable, relax_with_source, reverse_bfs_distances,
 };
 use lcrb_graph::{DiGraph, NodeId, UnionFind};
 

@@ -10,8 +10,8 @@
 //! protector set achieves under all four models implemented here:
 //! OPOAO, DOAM, competitive IC, and competitive LT.
 
-use lcrb_repro::prelude::*;
 use lcrb_repro::diffusion::{CompetitiveIcModel, CompetitiveLtModel, CompetitiveSisModel};
+use lcrb_repro::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -27,12 +27,7 @@ fn containment<M: TwoCascadeModel + Sync>(
         base_seed: 5,
         threads: 0,
     };
-    let without = monte_carlo(
-        model,
-        instance.graph(),
-        &instance.seed_sets(vec![])?,
-        &mc,
-    );
+    let without = monte_carlo(model, instance.graph(), &instance.seed_sets(vec![])?, &mc);
     let with = monte_carlo(
         model,
         instance.graph(),
@@ -81,8 +76,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let bridge_ends = &solution.bridge_ends.nodes;
     let protectors = &solution.protectors;
-    containment("doam", &DoamModel::default(), &instance, protectors, bridge_ends)?;
-    containment("opoao", &OpoaoModel::default(), &instance, protectors, bridge_ends)?;
+    containment(
+        "doam",
+        &DoamModel::default(),
+        &instance,
+        protectors,
+        bridge_ends,
+    )?;
+    containment(
+        "opoao",
+        &OpoaoModel::default(),
+        &instance,
+        protectors,
+        bridge_ends,
+    )?;
     containment(
         "competitive-ic",
         &CompetitiveIcModel::new(0.15)?,
@@ -102,11 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // work) — prevalence with and without the protector campaign.
     let sis = CompetitiveSisModel::new(0.2, 0.35, 0.25, 60)?;
     let mut rng = SmallRng::seed_from_u64(17);
-    let quiet = sis.run(
-        instance.graph(),
-        &instance.seed_sets(vec![])?,
-        &mut rng,
-    );
+    let quiet = sis.run(instance.graph(), &instance.seed_sets(vec![])?, &mut rng);
     let fought = sis.run(
         instance.graph(),
         &instance.seed_sets(protectors.to_vec())?,

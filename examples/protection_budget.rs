@@ -64,13 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // α-target mode: the LCRB-P problem statement.
     for alpha in [0.5, 0.8, 0.95] {
-        let sel = greedy_lcrb_p(
-            &instance,
-            &GreedyConfig {
-                alpha,
-                ..config
-            },
-        )?;
+        let sel = greedy_lcrb_p(&instance, &GreedyConfig { alpha, ..config })?;
         println!(
             "alpha = {alpha:4.2}: target σ̂ >= {:6.2} -> {} protectors, achieved {:6.2} ({})",
             sel.target,

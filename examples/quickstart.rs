@@ -56,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(solution.is_complete());
 
     // Verify: simulate DOAM with and without protection.
-    let unprotected = DoamModel::default()
-        .run_deterministic(instance.graph(), &instance.seed_sets(vec![])?);
+    let unprotected =
+        DoamModel::default().run_deterministic(instance.graph(), &instance.seed_sets(vec![])?);
     let protected = DoamModel::default().run_deterministic(
         instance.graph(),
         &instance.seed_sets(solution.protectors.clone())?,

@@ -69,15 +69,14 @@ pub mod prelude {
     pub use lcrb::{
         find_bridge_ends, greedy_lcrb_p, greedy_viral_stopper, greedy_with_budget, scbg,
         scbg_weighted, BridgeEndRule, CandidatePool, GreedyConfig, GvsConfig, LcrbError,
-        MaxDegreeSelector, NoBlockingSelector, ObjectiveModel, PageRankSelector,
-        ProtectorSelector, ProximitySelector, RandomSelector, RumorBlockingInstance,
-        ScbgConfig,
+        MaxDegreeSelector, NoBlockingSelector, ObjectiveModel, PageRankSelector, ProtectorSelector,
+        ProximitySelector, RandomSelector, RumorBlockingInstance, ScbgConfig,
     };
     pub use lcrb_community::{louvain, LouvainConfig, Partition};
     pub use lcrb_datasets::{enron_like, hep_like, DatasetConfig};
     pub use lcrb_diffusion::{
-        doam_analytic, monte_carlo, DoamModel, MonteCarloConfig, OpoaoModel, SeedSets,
-        Status, TwoCascadeModel,
+        doam_analytic, monte_carlo, DoamModel, MonteCarloConfig, OpoaoModel, SeedSets, Status,
+        TwoCascadeModel,
     };
     pub use lcrb_graph::{DiGraph, NodeId};
 }

@@ -1,9 +1,9 @@
 //! Cross-crate consistency checks: properties that only emerge when
 //! the substrates are composed.
 
-use lcrb_repro::prelude::*;
 use lcrb_repro::community::metrics::{mixing_parameter, normalized_mutual_information};
 use lcrb_repro::diffusion::OpoaoRealization;
+use lcrb_repro::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -19,9 +19,7 @@ fn doam_oracle_matches_simulator_on_dataset_graphs() {
         &mut rng,
     )
     .unwrap();
-    let seeds = inst
-        .seed_sets(vec![])
-        .unwrap();
+    let seeds = inst.seed_sets(vec![]).unwrap();
     let sim = DoamModel::default().run_deterministic(inst.graph(), &seeds);
     let ana = doam_analytic(inst.graph(), &seeds);
     assert_eq!(sim.statuses(), ana.statuses());
@@ -45,8 +43,8 @@ fn bridge_ends_are_exactly_the_first_escapes_under_doam() {
     )
     .unwrap();
     let bridges = find_bridge_ends(&inst, BridgeEndRule::WithinCommunity);
-    let outcome = DoamModel::default()
-        .run_deterministic(inst.graph(), &inst.seed_sets(vec![]).unwrap());
+    let outcome =
+        DoamModel::default().run_deterministic(inst.graph(), &inst.seed_sets(vec![]).unwrap());
     // All bridge ends get infected when nothing is done.
     for &v in &bridges.nodes {
         assert!(outcome.status(v).is_infected());
@@ -96,11 +94,7 @@ fn coupled_realizations_share_rumor_randomness() {
     .unwrap();
     let model = OpoaoModel::new(15);
     let real = OpoaoRealization::new(99);
-    let base = model.run_realized(
-        inst.graph(),
-        &inst.seed_sets(vec![]).unwrap(),
-        &real,
-    );
+    let base = model.run_realized(inst.graph(), &inst.seed_sets(vec![]).unwrap(), &real);
     // Pick a protector far from the action: an isolated-ish node in
     // another community (any non-rumor node works for the coupling
     // property we check).

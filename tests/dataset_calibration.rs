@@ -32,8 +32,14 @@ fn enron_like_pins_both_paper_communities() {
     assert_eq!(ds.pinned_communities.len(), 2);
     let large = sizes[ds.pinned_communities[0]];
     let small = sizes[ds.pinned_communities[1]];
-    assert_eq!(large, (enron_stats::LARGE_COMMUNITY as f64 * 0.1).round() as usize);
-    assert_eq!(small, (enron_stats::SMALL_COMMUNITY as f64 * 0.1).round() as usize);
+    assert_eq!(
+        large,
+        (enron_stats::LARGE_COMMUNITY as f64 * 0.1).round() as usize
+    );
+    assert_eq!(
+        small,
+        (enron_stats::SMALL_COMMUNITY as f64 * 0.1).round() as usize
+    );
 }
 
 #[test]
@@ -45,7 +51,11 @@ fn hep_like_hits_paper_statistics() {
     assert!((g.node_count() as f64 - want_nodes).abs() / want_nodes < 0.02);
     // Undirected edges become two arcs; the paper's "average node
     // degree of 7.73" is 2m/n.
-    assert!((average_out_degree(g) - 7.73).abs() < 0.3, "{}", average_out_degree(g));
+    assert!(
+        (average_out_degree(g) - 7.73).abs() < 0.3,
+        "{}",
+        average_out_degree(g)
+    );
     assert_eq!(reciprocity(g), 1.0);
     let sizes = ds.planted.community_sizes();
     assert_eq!(

@@ -28,10 +28,13 @@ fn scbg_contains_the_rumor_end_to_end() {
 
     // Without protection the rumor escapes: every bridge end is
     // infected under DOAM (they are reachable by construction).
-    let unprotected = DoamModel::default()
-        .run_deterministic(inst.graph(), &inst.seed_sets(vec![]).unwrap());
+    let unprotected =
+        DoamModel::default().run_deterministic(inst.graph(), &inst.seed_sets(vec![]).unwrap());
     for &v in &solution.bridge_ends.nodes {
-        assert!(unprotected.status(v).is_infected(), "bridge end {v} not reached");
+        assert!(
+            unprotected.status(v).is_infected(),
+            "bridge end {v} not reached"
+        );
     }
 
     // With the SCBG protectors, none is.
