@@ -34,7 +34,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod label_propagation;
 mod louvain;

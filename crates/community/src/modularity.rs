@@ -1,6 +1,7 @@
 //! Directed modularity (Leicht–Newman), the objective optimized by
 //! Louvain.
 
+// xtask-allow-file: index -- degree and community arrays are node_count-sized after the up-front cover check
 use lcrb_graph::DiGraph;
 
 use crate::Partition;
@@ -36,6 +37,7 @@ use crate::Partition;
 pub fn modularity(g: &DiGraph, partition: &Partition) -> f64 {
     partition
         .check_node_count(g.node_count())
+        // xtask-allow: panic -- documented `# Panics` precondition: the partition must cover the graph
         .expect("partition must cover the graph");
     let m = g.edge_count() as f64;
     if m == 0.0 {

@@ -2,6 +2,7 @@
 //! Random, NoBlocking — behind a common [`ProtectorSelector`] trait,
 //! plus the coverage-mode runners used for Table I.
 
+// xtask-allow-file: index -- score/degree arrays are node_count-sized and candidates come from the same graph's node iterator
 use rand::seq::SliceRandom;
 use rand::RngCore;
 
@@ -186,6 +187,7 @@ impl PageRankSelector {
         nodes.sort_by(|&a, &b| {
             pr.scores[b.index()]
                 .partial_cmp(&pr.scores[a.index()])
+                // xtask-allow: panic -- pagerank scores are finite by construction (damped convex sums of finite values)
                 .expect("pagerank scores are finite")
                 .then(a.cmp(&b))
         });

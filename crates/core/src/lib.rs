@@ -51,7 +51,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 mod bridge;
 mod error;

@@ -20,7 +20,7 @@
 //! provably protected. The approximation factor is `H(|B|) = O(ln
 //! |B|)` by the set-cover reduction (Theorems 2–3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
@@ -119,16 +119,21 @@ fn build_star_sets(
     let mut d_r = CsrBfsScratch::new();
     d_r.run(csr, instance.rumor_seeds(), Direction::Forward, u32::MAX);
 
+    // xtask-allow: hotpath -- one-time setup per SCBG run, sized to the snapshot
     let mut is_rumor = vec![false; csr.node_count()];
     for &r in instance.rumor_seeds() {
         is_rumor[r.index()] = true;
     }
 
-    let mut sw: HashMap<NodeId, Vec<u32>> = HashMap::new();
+    // A BTreeMap keyed by NodeId makes the candidate order (and thus
+    // the cover tie-breaks) deterministic by construction.
+    // xtask-allow: hotpath -- one star-set map per SCBG run, built outside the cover loop
+    let mut sw: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
     let mut back = CsrBfsScratch::new();
     for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
         let depth = d_r
             .distance(v)
+            // xtask-allow: panic -- bridge ends are discovered by forward BFS from the rumor seeds, so a distance exists
             .expect("bridge ends are reachable from the rumor originators by definition");
         let depth = max_bbst_depth.map_or(depth, |cap| depth.min(cap));
         back.run(csr, &[v], Direction::Backward, depth);
@@ -139,10 +144,8 @@ fn build_star_sets(
         }
     }
 
-    let mut candidates: Vec<NodeId> = sw.keys().copied().collect();
-    candidates.sort_unstable();
-    let sets: Vec<Vec<u32>> = candidates.iter().map(|u| sw[u].clone()).collect();
-    (candidates, sets)
+    // BTreeMap iteration is already in ascending NodeId order.
+    sw.into_iter().unzip()
 }
 
 /// Cost-aware SCBG — an extension beyond the paper: protectors have

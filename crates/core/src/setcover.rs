@@ -5,6 +5,7 @@
 //! the optimal-up-to-constants `O(ln n)` factor, and no polynomial
 //! algorithm does asymptotically better unless P = NP (Feige).
 
+// xtask-allow-file: index -- element and set ids are dense indices assigned by this module's own builder over one arena
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 

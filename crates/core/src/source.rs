@@ -16,6 +16,7 @@
 //! which is exact on trees under deterministic spreading and a strong
 //! heuristic on general graphs.
 
+// xtask-allow-file: index -- distance arrays are node_count-sized and indexed by NodeIds of the same graph
 use lcrb_graph::traversal::bfs_distances;
 use lcrb_graph::{DiGraph, NodeId};
 

@@ -12,6 +12,7 @@ use core::fmt;
 
 use rand::Rng;
 
+// xtask-allow: hotpath -- DiGraph is imported only for the documented one-off convenience wrapper
 use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
 use crate::{DiffusionOutcome, SeedSets, SimWorkspace, Status, TwoCascadeModel};
@@ -143,6 +144,7 @@ impl CompetitiveIcModel {
     #[must_use]
     pub fn run_realized(
         &self,
+        // xtask-allow: hotpath -- documented cold-path convenience wrapper; snapshots then delegates to run_realized_into
         graph: &DiGraph,
         seeds: &SeedSets,
         realization: &IcRealization,

@@ -49,8 +49,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
+mod analytic;
 mod doam;
 mod ic;
 mod lt;
@@ -64,9 +66,8 @@ mod sis;
 mod timestamps;
 mod workspace;
 
-pub use doam::{
-    doam_analytic, doam_analytic_csr, doam_safe_targets, doam_safe_targets_csr, DoamModel,
-};
+pub use analytic::{doam_analytic, doam_analytic_csr, doam_safe_targets, doam_safe_targets_csr};
+pub use doam::DoamModel;
 pub use ic::{CompetitiveIcModel, IcRealization, InvalidProbabilityError};
 pub use lt::CompetitiveLtModel;
 pub use model::TwoCascadeModel;

@@ -3,6 +3,7 @@
 
 use rand::Rng;
 
+// xtask-allow: hotpath -- DiGraph is imported only for the documented one-off convenience wrapper
 use lcrb_graph::{CsrGraph, DiGraph};
 
 use crate::{DiffusionOutcome, SeedSets, SimWorkspace};
@@ -51,6 +52,7 @@ pub trait TwoCascadeModel {
     /// different graph.
     fn run<R: Rng + ?Sized>(
         &self,
+        // xtask-allow: hotpath -- documented cold-path convenience wrapper; snapshots then delegates to run_into
         graph: &DiGraph,
         seeds: &SeedSets,
         rng: &mut R,

@@ -5,6 +5,7 @@
 //! loop, parallelized across std scoped threads and reproducible from
 //! a single base seed.
 
+// xtask-allow-file: index -- accumulator arrays are node_count-sized at construction and merged series share one length
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -268,6 +269,7 @@ where
         }
         handles
             .into_iter()
+            // xtask-allow: panic -- re-raising a worker panic on the coordinating thread is the intended behavior
             .map(|h| h.join().expect("monte carlo worker panicked"))
             .collect::<Vec<_>>()
     });
@@ -275,6 +277,7 @@ where
     accumulators
         .into_iter()
         .reduce(SeriesAccumulator::merge)
+        // xtask-allow: panic -- thread count is clamped to at least 1, so one accumulator always exists
         .expect("at least one worker")
         .into_average()
 }

@@ -11,6 +11,7 @@
 
 use rand::Rng;
 
+// xtask-allow: hotpath -- DiGraph is imported only for the documented one-off convenience wrapper
 use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
 use crate::{DiffusionOutcome, OpoaoRealization, SeedSets, SimWorkspace, Status, TwoCascadeModel};
@@ -54,6 +55,7 @@ impl OpoaoModel {
     #[must_use]
     pub fn run_realized(
         &self,
+        // xtask-allow: hotpath -- documented cold-path convenience wrapper; snapshots then delegates to run_realized_into
         graph: &DiGraph,
         seeds: &SeedSets,
         realization: &OpoaoRealization,

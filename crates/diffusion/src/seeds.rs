@@ -1,5 +1,6 @@
 //! Seed-set handling for the two competing cascades.
 
+// xtask-allow-file: index -- membership bitmaps are node_count-sized and built during the validation that admits each seed
 use core::fmt;
 
 use lcrb_graph::{DiGraph, NodeId};

@@ -17,6 +17,7 @@
 
 use rand::Rng;
 
+// xtask-allow: hotpath -- DiGraph is imported only for the documented one-off convenience wrapper
 use lcrb_graph::{CsrGraph, DiGraph};
 
 use crate::ic::InvalidProbabilityError;
@@ -133,6 +134,7 @@ impl CompetitiveSisModel {
     /// Panics if `seeds` refers to nodes outside `graph`.
     pub fn run<R: Rng + ?Sized>(
         &self,
+        // xtask-allow: hotpath -- documented cold-path convenience wrapper; snapshots then delegates to run_into
         graph: &DiGraph,
         seeds: &SeedSets,
         rng: &mut R,

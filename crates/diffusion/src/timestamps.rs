@@ -15,7 +15,8 @@
 //!   its smallest rumor stamp (the arrival-order condition of
 //!   Lemma 2).
 
-use std::collections::HashMap;
+// xtask-allow-file: index -- attribution/status arrays are node_count-sized at run start; nodes come from the same snapshot
+use std::collections::BTreeMap;
 
 use lcrb_graph::{DiGraph, NodeId};
 
@@ -43,8 +44,10 @@ pub struct TimestampedOutcome {
     /// nodes).
     pub attribution: Vec<Option<NodeId>>,
     /// Smallest timestamp per (edge, seed), keyed by `(source,
-    /// target)` — the simplified stamps of Fig. 1(b).
-    stamps: HashMap<(NodeId, NodeId), Vec<EdgeStamp>>,
+    /// target)` — the simplified stamps of Fig. 1(b). Ordered so
+    /// iteration is deterministic (the submodularity lemmas are
+    /// checked by iterating stamps; see the determinism lint rule).
+    stamps: BTreeMap<(NodeId, NodeId), Vec<EdgeStamp>>,
 }
 
 impl TimestampedOutcome {
@@ -62,7 +65,7 @@ impl TimestampedOutcome {
     }
 
     /// Iterates over all stamped edges as `((source, target),
-    /// stamps)`.
+    /// stamps)`, in ascending `(source, target)` order.
     pub fn stamped_edges(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Vec<EdgeStamp>)> {
         self.stamps.iter()
     }
@@ -118,7 +121,7 @@ pub fn run_opoao_timestamped(
     for &s in seeds.rumors().iter().chain(seeds.protectors()) {
         attribution[s.index()] = Some(s);
     }
-    let mut stamps: HashMap<(NodeId, NodeId), Vec<EdgeStamp>> = HashMap::new();
+    let mut stamps: BTreeMap<(NodeId, NodeId), Vec<EdgeStamp>> = BTreeMap::new();
 
     let mut inactive_out: Vec<u32> = (0..n)
         .map(|i| graph.out_degree(NodeId::new(i)) as u32)
@@ -166,6 +169,7 @@ pub fn run_opoao_timestamped(
             let degree = graph.out_degree(u);
             let idx = realization.choice(u, hop, degree);
             let target = graph.out_neighbors(u)[idx];
+            // xtask-allow: panic -- nodes enter `live` only after their attribution slot is written
             let seed = attribution[u.index()].expect("active nodes are attributed");
             // Record the stamp (smallest per seed).
             let entry = stamps.entry((u, target)).or_default();

@@ -129,6 +129,8 @@ impl SimWorkspace {
             self.stamp.fill(0);
             self.epoch = 0;
         }
+        #[cfg(debug_assertions)]
+        self.debug_check_epoch_consistency(n);
         self.epoch += 1;
         self.trace.clear();
         self.quiescent = false;
@@ -149,6 +151,38 @@ impl SimWorkspace {
             total_infected: self.total_infected,
             total_protected: self.total_protected,
         });
+    }
+
+    /// Debug-build backstop for the epoch scheme: the per-node result
+    /// arrays must be sized together, every stamp must come from a
+    /// past epoch (a stamp ahead of the counter would let a *future*
+    /// run silently resurrect stale results), and the claim staging
+    /// array must have been restored to all-zeros by the previous
+    /// model run, as the field contract requires.
+    #[cfg(debug_assertions)]
+    fn debug_check_epoch_consistency(&self, n: usize) {
+        assert!(
+            self.stamp.len() == self.status.len() && self.stamp.len() == self.hop.len(),
+            "epoch-stamped arrays diverged: stamp {} / status {} / hop {}",
+            self.stamp.len(),
+            self.status.len(),
+            self.hop.len()
+        );
+        assert!(
+            self.stamp.len() >= n && self.claim.len() >= n,
+            "per-node buffers not grown to {n} nodes"
+        );
+        let ahead = self.stamp.iter().position(|&s| s > self.epoch);
+        assert!(
+            ahead.is_none(),
+            "stamp[{ahead:?}] is ahead of the current epoch {}",
+            self.epoch
+        );
+        let dirty = self.claim[..n].iter().position(|&c| c != 0);
+        assert!(
+            dirty.is_none(),
+            "claim[{dirty:?}] was left set by the previous run; models must restore claim to zero"
+        );
     }
 
     #[inline]

@@ -4,6 +4,7 @@
 //! synthetic datasets and to reason about protector placement:
 //! bridge ends with high betweenness sit on many escape paths.
 
+// xtask-allow-file: index -- the Brandes buffers are node-indexed arrays sized together before each source's pass
 use std::collections::VecDeque;
 
 use crate::{DiGraph, NodeId};

@@ -1,6 +1,7 @@
 //! Immutable compressed-sparse-row snapshot of a directed graph.
 
-use crate::{DiGraph, NodeId};
+// xtask-allow-file: index -- offset arrays hold node_count+1 entries by construction; the invariants are enforced by CsrGraph::validate in debug builds
+use crate::{DiGraph, GraphError, NodeId};
 
 /// A frozen, cache-friendly snapshot of a [`DiGraph`] in compressed
 /// sparse row form, with both out- and in-adjacency.
@@ -132,6 +133,137 @@ impl CsrGraph {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.node_count() as u32).map(NodeId::from_raw)
     }
+
+    /// Builds a snapshot directly from raw CSR arrays, validating the
+    /// structural invariants before accepting them. The degree arrays
+    /// are derived from the offsets. This is the checked entry point
+    /// for deserialized or externally constructed snapshots;
+    /// [`CsrGraph::from_digraph`] remains the usual route.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] if the arrays violate any
+    /// invariant checked by [`CsrGraph::validate`].
+    pub fn from_parts(
+        out_offsets: Vec<u32>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<u32>,
+        in_sources: Vec<NodeId>,
+    ) -> Result<Self, GraphError> {
+        let degrees = |offsets: &[u32]| {
+            offsets
+                .windows(2)
+                .map(|w| w[1].saturating_sub(w[0]))
+                .collect::<Vec<u32>>()
+        };
+        let csr = CsrGraph {
+            out_degrees: degrees(&out_offsets),
+            in_degrees: degrees(&in_offsets),
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        };
+        csr.validate()?;
+        Ok(csr)
+    }
+
+    /// Checks every structural invariant of the snapshot:
+    ///
+    /// - both offset arrays have `node_count + 1` entries, start at
+    ///   `0`, end at the length of their adjacency array, and are
+    ///   monotonically non-decreasing;
+    /// - the out- and in-adjacency arrays describe the same number of
+    ///   edges;
+    /// - every stored target/source id is in bounds;
+    /// - the dense degree arrays agree with the offset deltas.
+    ///
+    /// Freezing a valid [`DiGraph`] always produces a snapshot that
+    /// passes (asserted in debug builds); this is the backstop for
+    /// [`CsrGraph::from_parts`] and for the unchecked slice indexing
+    /// the simulation kernels perform against these arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let invalid = |detail: String| GraphError::InvalidCsr { detail };
+        let check_side = |offsets: &[u32],
+                          adjacency: &[NodeId],
+                          degrees: &[u32],
+                          side: &str|
+         -> Result<usize, GraphError> {
+            let n = match offsets.len().checked_sub(1) {
+                Some(n) => n,
+                None => return Err(invalid(format!("{side} offsets array is empty"))),
+            };
+            if offsets[0] != 0 {
+                return Err(invalid(format!(
+                    "{side} offsets must start at 0, found {}",
+                    offsets[0]
+                )));
+            }
+            if offsets[n] as usize != adjacency.len() {
+                return Err(invalid(format!(
+                    "last {side} offset {} does not match adjacency length {}",
+                    offsets[n],
+                    adjacency.len()
+                )));
+            }
+            for (i, w) in offsets.windows(2).enumerate() {
+                if w[1] < w[0] {
+                    return Err(invalid(format!(
+                        "{side} offsets decrease at node {i}: {} -> {}",
+                        w[0], w[1]
+                    )));
+                }
+            }
+            if degrees.len() != n {
+                return Err(invalid(format!(
+                    "{side} degree array has {} entries for {n} nodes",
+                    degrees.len()
+                )));
+            }
+            for (i, w) in offsets.windows(2).enumerate() {
+                if degrees[i] != w[1] - w[0] {
+                    return Err(invalid(format!(
+                        "{side} degree of node {i} is {} but offsets span {}",
+                        degrees[i],
+                        w[1] - w[0]
+                    )));
+                }
+            }
+            for (pos, &v) in adjacency.iter().enumerate() {
+                if v.index() >= n {
+                    return Err(invalid(format!(
+                        "{side} adjacency entry {pos} references node {v} of {n}"
+                    )));
+                }
+            }
+            Ok(n)
+        };
+        let n_out = check_side(
+            &self.out_offsets,
+            &self.out_targets,
+            &self.out_degrees,
+            "out",
+        )?;
+        let n_in = check_side(&self.in_offsets, &self.in_sources, &self.in_degrees, "in")?;
+        if n_out != n_in {
+            return Err(invalid(format!(
+                "out side has {n_out} nodes but in side has {n_in}"
+            )));
+        }
+        if self.out_targets.len() != self.in_sources.len() {
+            return Err(invalid(format!(
+                "out side stores {} edges but in side stores {}",
+                self.out_targets.len(),
+                self.in_sources.len()
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl From<&DiGraph> for CsrGraph {
@@ -154,14 +286,20 @@ impl From<&DiGraph> for CsrGraph {
             in_offsets.push(in_sources.len() as u32);
             in_degrees.push(g.in_degree(v) as u32);
         }
-        CsrGraph {
+        let csr = CsrGraph {
             out_offsets,
             out_targets,
             in_offsets,
             in_sources,
             out_degrees,
             in_degrees,
-        }
+        };
+        debug_assert!(
+            csr.validate().is_ok(),
+            "freezing a valid DiGraph must produce a valid snapshot: {:?}",
+            csr.validate()
+        );
+        csr
     }
 }
 
@@ -207,6 +345,90 @@ mod tests {
         assert_eq!(csr.edge_count(), 0);
         assert_eq!(csr.nodes().count(), 0);
         assert!(csr.out_degrees().is_empty());
+    }
+
+    #[test]
+    fn frozen_snapshots_validate() {
+        let g = DiGraph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(CsrGraph::from(&g).validate(), Ok(()));
+        assert_eq!(CsrGraph::from(&DiGraph::new()).validate(), Ok(()));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_valid_snapshot() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let reference = CsrGraph::from(&g);
+        let rebuilt = CsrGraph::from_parts(
+            reference.out_offsets.clone(),
+            reference.out_targets.clone(),
+            reference.in_offsets.clone(),
+            reference.in_sources.clone(),
+        )
+        .unwrap();
+        for v in g.nodes() {
+            assert_eq!(rebuilt.out_neighbors(v), reference.out_neighbors(v));
+            assert_eq!(rebuilt.in_neighbors(v), reference.in_neighbors(v));
+            assert_eq!(rebuilt.out_degree(v), reference.out_degree(v));
+            assert_eq!(rebuilt.in_degree(v), reference.in_degree(v));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupted_arrays() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let good = CsrGraph::from(&g);
+        let cases: Vec<(&str, CsrGraph)> = vec![
+            ("decreasing offsets", {
+                let mut c = good.clone();
+                c.out_offsets[1] = 2;
+                c.out_offsets[2] = 1;
+                c
+            }),
+            ("short final offset", {
+                let mut c = good.clone();
+                let last = c.out_offsets.len() - 1;
+                c.out_offsets[last] = 1;
+                c
+            }),
+            ("out-of-bounds target", {
+                let mut c = good.clone();
+                c.out_targets[0] = NodeId::new(99);
+                c
+            }),
+            ("edge-count mismatch", {
+                let mut c = good.clone();
+                c.in_sources.pop();
+                let last = c.in_offsets.len() - 1;
+                c.in_offsets[last] -= 1;
+                c.in_degrees[2] -= 1;
+                c
+            }),
+            ("stale degree array", {
+                let mut c = good.clone();
+                c.out_degrees[0] = 7;
+                c
+            }),
+            ("empty offsets", {
+                let mut c = good.clone();
+                c.in_offsets.clear();
+                c
+            }),
+        ];
+        for (label, corrupted) in cases {
+            assert!(
+                matches!(corrupted.validate(), Err(GraphError::InvalidCsr { .. })),
+                "{label} should fail validation"
+            );
+        }
+        // And the public checked constructor surfaces the same error.
+        let err = CsrGraph::from_parts(
+            vec![0, 2, 1],
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![0, 0, 0],
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid csr snapshot"));
     }
 
     #[test]

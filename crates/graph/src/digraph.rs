@@ -1,5 +1,6 @@
 //! The mutable adjacency-list directed graph.
 
+// xtask-allow-file: index -- adjacency vectors are indexed by NodeIds validated on insertion against node_count
 use std::collections::HashSet;
 
 use crate::{GraphError, NodeId};
@@ -297,7 +298,9 @@ impl DiGraph {
             out: self.ins.clone(),
             ins: self.out.clone(),
             edge_count: self.edge_count,
-            edge_set: self.edge_set.iter().map(|k| k.rotate_right(32)).collect(),
+            // Rebuilt from adjacency order rather than by iterating
+            // the old hash set, so construction is deterministic.
+            edge_set: self.edges().map(|(u, v)| edge_key(v, u)).collect(),
         }
     }
 

@@ -22,6 +22,12 @@ pub enum GraphError {
         /// The node that would have looped onto itself.
         node: NodeId,
     },
+    /// A CSR snapshot failed structural validation (see
+    /// [`CsrGraph::validate`](crate::CsrGraph::validate)).
+    InvalidCsr {
+        /// Which structural invariant was violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -33,6 +39,9 @@ impl fmt::Display for GraphError {
             ),
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::InvalidCsr { detail } => {
+                write!(f, "invalid csr snapshot: {detail}")
             }
         }
     }

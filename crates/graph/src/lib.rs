@@ -43,7 +43,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod betweenness;
 pub mod components;

@@ -1,5 +1,6 @@
 //! Disjoint-set (union-find) structure.
 
+// xtask-allow-file: index -- parent/rank arrays are sized at construction and find() only follows stored parent indices
 /// A union-find structure over dense `usize` indices with union by
 /// size and path halving.
 ///

@@ -12,7 +12,7 @@ use lcrb_graph::pagerank::{pagerank, PageRankConfig};
 use lcrb_graph::traversal::{
     bfs_distances, is_reachable, relax_with_source, reverse_bfs_distances,
 };
-use lcrb_graph::{DiGraph, NodeId, UnionFind};
+use lcrb_graph::{CsrGraph, DiGraph, GraphError, NodeId, UnionFind};
 
 /// Strategy: a random directed graph as (node count, edge pairs).
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = DiGraph> {
@@ -247,6 +247,70 @@ proptest! {
         let v = NodeId::new(v % g.node_count());
         let c = harmonic_closeness_in(&g, v);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "closeness {c}");
+    }
+
+    #[test]
+    fn csr_snapshots_of_generator_graphs_validate(g in arb_graph(30, 120)) {
+        let csr = CsrGraph::from(&g);
+        prop_assert_eq!(csr.validate(), Ok(()));
+        // And the checked constructor round-trips the same arrays.
+        let out_offsets: Vec<u32> = std::iter::once(0)
+            .chain(g.nodes().scan(0u32, |acc, v| {
+                *acc += g.out_degree(v) as u32;
+                Some(*acc)
+            }))
+            .collect();
+        let in_offsets: Vec<u32> = std::iter::once(0)
+            .chain(g.nodes().scan(0u32, |acc, v| {
+                *acc += g.in_degree(v) as u32;
+                Some(*acc)
+            }))
+            .collect();
+        let out_targets: Vec<NodeId> =
+            g.nodes().flat_map(|v| g.out_neighbors(v).to_vec()).collect();
+        let in_sources: Vec<NodeId> =
+            g.nodes().flat_map(|v| g.in_neighbors(v).to_vec()).collect();
+        let rebuilt = CsrGraph::from_parts(out_offsets, out_targets, in_offsets, in_sources);
+        prop_assert!(rebuilt.is_ok());
+        let rebuilt = rebuilt.unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(rebuilt.out_neighbors(v), csr.out_neighbors(v));
+            prop_assert_eq!(rebuilt.in_neighbors(v), csr.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn csr_validate_rejects_corrupted_offsets(
+        g in arb_graph(20, 80),
+        node in 0usize..20,
+        bump in 1u32..5,
+    ) {
+        prop_assume!(g.edge_count() > 0);
+        let csr = CsrGraph::from(&g);
+        let node = node % g.node_count();
+        // Push one out-offset past the adjacency length: if it is the
+        // final offset this breaks the length agreement, otherwise the
+        // array stops being monotone — validate must catch both.
+        let mut out_offsets: Vec<u32> = std::iter::once(0)
+            .chain(g.nodes().scan(0u32, |acc, v| {
+                *acc += g.out_degree(v) as u32;
+                Some(*acc)
+            }))
+            .collect();
+        out_offsets[node + 1] = g.edge_count() as u32 + bump;
+        let in_offsets: Vec<u32> = std::iter::once(0)
+            .chain(g.nodes().scan(0u32, |acc, v| {
+                *acc += g.in_degree(v) as u32;
+                Some(*acc)
+            }))
+            .collect();
+        let out_targets: Vec<NodeId> =
+            g.nodes().flat_map(|v| g.out_neighbors(v).to_vec()).collect();
+        let in_sources: Vec<NodeId> =
+            g.nodes().flat_map(|v| g.in_neighbors(v).to_vec()).collect();
+        let rebuilt = CsrGraph::from_parts(out_offsets, out_targets, in_offsets, in_sources);
+        prop_assert!(matches!(rebuilt, Err(GraphError::InvalidCsr { .. })));
+        let _ = csr;
     }
 
     #[test]

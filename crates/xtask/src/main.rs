@@ -1,0 +1,83 @@
+//! `cargo xtask` — repo-specific developer tasks.
+//!
+//! Currently one subcommand: `lint`, the static analysis pass
+//! described in `xtask`'s crate docs and DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if command.is_none() => command = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match command.as_deref() {
+        Some("lint") => lint(root),
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: cargo xtask lint [--root <workspace-root>]\n\
+         \n\
+         Subcommands:\n\
+         \x20 lint   run the repo static-analysis pass (determinism, panic\n\
+         \x20        surface, hot-path discipline, attribute hygiene)"
+    );
+}
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    // Default to the workspace this binary was built from: the alias
+    // in .cargo/config.toml always runs it in-tree.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+    match xtask::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            eprintln!("xtask lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! The lint rules: scoping, test-code stripping, rule checks, and
+//! `xtask-allow` pragma application.
+//!
+//! Four rule families guard the invariants the paper reproduction
+//! depends on (see DESIGN.md §"Static analysis layer"):
+//!
+//! - `determinism` — the LCRB-P greedy is only (1 − 1/e)-approximate
+//!   because σ(·) is estimated over coupled random realizations
+//!   (§V-A of the paper); an unseeded RNG, a wall-clock call, or
+//!   hash-order iteration in result-producing code silently voids
+//!   that guarantee.
+//! - `panic` / `index` — library code reports failures through
+//!   `LcrbError`/`GraphError`; panics are reserved for documented
+//!   invariant breaches, each carrying an `xtask-allow` justification.
+//! - `hotpath` — the CSR/workspace kernel keeps its speedup only
+//!   while hot modules stay allocation-free and snapshot-based; any
+//!   `DiGraph` reference or container allocation there is flagged.
+//! - `attributes` — every crate root carries the standard prelude
+//!   (`forbid(unsafe_code)`, `deny(missing_docs)`,
+//!   `warn(missing_debug_implementations)`).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// Rule identifiers accepted by `xtask-allow` pragmas.
+pub const KNOWN_RULES: [&str; 5] = ["determinism", "panic", "index", "hotpath", "attributes"];
+
+/// Crates whose result-producing code must not iterate hash
+/// containers (the paper's algorithm layers).
+const DETERMINISM_CRATES: [&str; 4] = ["graph", "community", "diffusion", "core"];
+
+/// The declared hot-module list: the diffusion engine kernels plus
+/// the CSR traversal and objective/greedy/SCBG layers ported to the
+/// snapshot API in PR 2. Allocation and legacy `DiGraph` use here is
+/// flagged so the zero-allocation invariant cannot regress unnoticed.
+const HOT_FILES: [&str; 11] = [
+    "crates/diffusion/src/model.rs",
+    "crates/diffusion/src/opoao.rs",
+    "crates/diffusion/src/doam.rs",
+    "crates/diffusion/src/ic.rs",
+    "crates/diffusion/src/lt.rs",
+    "crates/diffusion/src/sis.rs",
+    "crates/diffusion/src/workspace.rs",
+    "crates/graph/src/traversal/csr_bfs.rs",
+    "crates/core/src/objective.rs",
+    "crates/core/src/greedy.rs",
+    "crates/core/src/scbg.rs",
+];
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`&mut [T]`, `as [u8; 4]`, ...).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "mut", "dyn", "as", "in", "return", "break", "else", "move", "ref", "static", "const", "box",
+];
+
+/// Hash-container methods whose iteration order is nondeterministic.
+const HASH_ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Which rule families apply to a file.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// Crate root that must carry the attribute prelude.
+    pub attributes_root: bool,
+    /// Library code subject to `panic`/`index` and banned
+    /// nondeterministic calls.
+    pub panic_scope: bool,
+    /// Subject to the hash-iteration determinism check.
+    pub determinism_iteration: bool,
+    /// Member of the declared hot-module list.
+    pub hot: bool,
+}
+
+/// One diagnostic.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule family (or `allow` for pragma hygiene problems).
+    pub rule: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Classifies a workspace-relative path (forward slashes); `None`
+/// means the file is out of lint scope.
+#[must_use]
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    if !rel_path.ends_with(".rs") {
+        return None;
+    }
+    // Out of scope entirely: vendored deps, build output, integration
+    // tests, benches, examples.
+    for skip in [
+        "vendor/",
+        "target/",
+        "tests/",
+        "benches/",
+        "examples/",
+        ".git/",
+    ] {
+        if rel_path.starts_with(skip) || rel_path.contains(&format!("/{skip}")) {
+            return None;
+        }
+    }
+    // The bench harness and this tool itself are dev tooling: only
+    // the attribute prelude applies to their crate roots.
+    if rel_path.starts_with("crates/bench/") {
+        return (rel_path == "crates/bench/src/lib.rs").then(|| FileClass {
+            attributes_root: true,
+            ..FileClass::default()
+        });
+    }
+    if rel_path.starts_with("crates/xtask/") {
+        return (rel_path == "crates/xtask/src/lib.rs").then(|| FileClass {
+            attributes_root: true,
+            ..FileClass::default()
+        });
+    }
+
+    let mut class = FileClass::default();
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    let in_library = match crate_name {
+        Some(name) => rel_path.starts_with(&format!("crates/{name}/src/")),
+        // The umbrella crate at the workspace root.
+        None => rel_path.starts_with("src/"),
+    };
+    if !in_library {
+        return None;
+    }
+    class.panic_scope = true;
+    class.attributes_root = rel_path == "src/lib.rs"
+        || crate_name.is_some_and(|n| rel_path == format!("crates/{n}/src/lib.rs"));
+    class.determinism_iteration = crate_name.is_some_and(|n| DETERMINISM_CRATES.contains(&n));
+    class.hot = HOT_FILES.contains(&rel_path);
+    Some(class)
+}
+
+/// Lints one file's source text; returns all unsuppressed violations
+/// plus any pragma-hygiene problems.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let Some(class) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let lexed = lex(source);
+    let code = strip_test_code(&lexed.tokens);
+
+    let mut raw = Vec::new();
+    check_determinism(&code, class, rel_path, &mut raw);
+    if class.panic_scope {
+        check_panic(&code, rel_path, &mut raw);
+        if !class.hot {
+            check_index(&code, rel_path, &mut raw);
+        }
+    }
+    if class.hot {
+        check_hotpath(&code, rel_path, &mut raw);
+    }
+    if class.attributes_root {
+        check_attributes(&lexed.tokens, rel_path, &mut raw);
+    }
+
+    apply_allows(rel_path, &lexed, raw)
+}
+
+/// Removes every item annotated `#[cfg(test)]` (and stacked
+/// attributes following it) from the token stream.
+fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (end, is_cfg_test) = scan_attribute(tokens, i + 1);
+            if is_cfg_test {
+                i = end + 1;
+                // Skip any further attributes stacked on the item.
+                while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (e, _) = scan_attribute(tokens, i + 1);
+                    i = e + 1;
+                }
+                // Skip the item: a balanced `{ ... }` block, or a `;`
+                // at item level (e.g. `use` declarations).
+                let mut depth = 0usize;
+                while i < tokens.len() {
+                    let t = &tokens[i];
+                    i += 1;
+                    if t.is_punct('{') {
+                        depth += 1;
+                    } else if t.is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && depth == 0 {
+                        break;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Scans an attribute starting at the index of its `[`; returns the
+/// index of the matching `]` and whether the attribute is a `cfg`
+/// mentioning `test`.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut first_ident: Option<&str> = None;
+    let mut mentions_test = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            if first_ident.is_none() {
+                first_ident = Some(&t.text);
+            }
+            if t.text == "test" {
+                mentions_test = true;
+            }
+        }
+        i += 1;
+    }
+    (i, first_ident == Some("cfg") && mentions_test)
+}
+
+fn check_determinism(code: &[Token], class: FileClass, file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "determinism".to_owned(),
+                message: format!(
+                    "`{}` draws OS entropy; use a seeded `SmallRng`/`StdRng` so runs replay",
+                    t.text
+                ),
+            });
+        }
+        if (t.is_ident("SystemTime") || t.is_ident("Instant"))
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "determinism".to_owned(),
+                message: format!(
+                    "`{}::now()` makes results wall-clock dependent; thread timing through the caller",
+                    t.text
+                ),
+            });
+        }
+    }
+    if !class.determinism_iteration {
+        return;
+    }
+    // Identifiers bound to HashMap/HashSet in this file (let bindings
+    // with type ascription or `= HashMap::new()`, and struct fields).
+    let mut hash_bound: BTreeSet<String> = BTreeSet::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) || i < 2 {
+            continue;
+        }
+        let prev = &code[i - 1];
+        let prev2 = &code[i - 2];
+        if (prev.is_punct(':') && !prev2.is_punct(':') && prev2.kind == TokKind::Ident)
+            || (prev.is_punct('=') && prev2.kind == TokKind::Ident)
+        {
+            hash_bound.insert(prev2.text.clone());
+        }
+    }
+    for (i, t) in code.iter().enumerate() {
+        // receiver.method( ... ) on a hash-bound receiver.
+        if t.kind == TokKind::Ident
+            && hash_bound.contains(&t.text)
+            && code.get(i + 1).is_some_and(|p| p.is_punct('.'))
+            && code.get(i + 2).is_some_and(|m| {
+                m.kind == TokKind::Ident && HASH_ITER_METHODS.contains(&m.text.as_str())
+            })
+            && code.get(i + 3).is_some_and(|p| p.is_punct('('))
+        {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "determinism".to_owned(),
+                message: format!(
+                    "iterating hash container `{}` has nondeterministic order; collect-and-sort or use an indexed/BTree layout",
+                    t.text
+                ),
+            });
+        }
+        // `for pat in [&[mut]] receiver {` over a hash-bound receiver.
+        if t.is_ident("for") {
+            let mut j = i + 1;
+            let limit = (i + 8).min(code.len());
+            while j < limit && !code[j].is_ident("in") {
+                j += 1;
+            }
+            if j >= limit {
+                continue;
+            }
+            let mut k = j + 1;
+            while k < code.len() && (code[k].is_punct('&') || code[k].is_ident("mut")) {
+                k += 1;
+            }
+            if code
+                .get(k)
+                .is_some_and(|r| r.kind == TokKind::Ident && hash_bound.contains(&r.text))
+                && code.get(k + 1).is_some_and(|b| b.is_punct('{'))
+            {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: t.line,
+                    rule: "determinism".to_owned(),
+                    message: format!(
+                        "`for .. in {}` iterates a hash container in nondeterministic order",
+                        code[k].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_panic(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        let next_is = |ch: char| code.get(i + 1).is_some_and(|n| n.is_punct(ch));
+        if (t.is_ident("unwrap") || t.is_ident("expect")) && next_is('(') {
+            // Exclude paths like `panic::unwrap` — there are none; a
+            // plain method/function call is what we care about.
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "panic".to_owned(),
+                message: format!(
+                    "`{}()` in library code; return an error (`LcrbError`/`GraphError`) or justify the invariant with `// xtask-allow: panic -- <why>`",
+                    t.text
+                ),
+            });
+        }
+        if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && next_is('!')
+        {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "panic".to_owned(),
+                message: format!("`{}!` in library code; return an error instead", t.text),
+            });
+        }
+    }
+}
+
+fn check_index(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_punct('[') || i == 0 {
+            continue;
+        }
+        let prev = &code[i - 1];
+        let is_index_expr = match prev.kind {
+            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+            _ => false,
+        };
+        if is_index_expr {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "index".to_owned(),
+                message:
+                    "slice index can panic; use `.get()` or justify the bound with an `xtask-allow`"
+                        .to_owned(),
+            });
+        }
+    }
+}
+
+fn check_hotpath(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    const CONTAINERS: [&str; 6] = [
+        "Vec", "HashMap", "HashSet", "VecDeque", "BTreeMap", "BTreeSet",
+    ];
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && CONTAINERS.contains(&t.text.as_str())
+            && code.get(i + 1).is_some_and(|p| p.is_punct(':'))
+            && code.get(i + 2).is_some_and(|p| p.is_punct(':'))
+            && code.get(i + 3).is_some_and(|m| m.is_ident("new"))
+        {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "hotpath".to_owned(),
+                message: format!(
+                    "`{}::new()` allocates in a hot module; reuse a workspace buffer or justify setup cost",
+                    t.text
+                ),
+            });
+        }
+        if t.is_ident("vec") && code.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "hotpath".to_owned(),
+                message: "`vec![]` allocates in a hot module; reuse a workspace buffer or justify setup cost".to_owned(),
+            });
+        }
+        if t.is_ident("DiGraph") {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "hotpath".to_owned(),
+                message: "legacy `DiGraph` API referenced in a hot module; hot paths are snapshot-based (`CsrGraph`)".to_owned(),
+            });
+        }
+    }
+}
+
+fn check_attributes(tokens: &[Token], file: &str, out: &mut Vec<Violation>) {
+    // Collect `#![level(lint)]` inner attributes.
+    let mut present: BTreeSet<(String, String)> = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && tokens.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 5).is_some_and(|t| t.kind == TokKind::Ident)
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(')'))
+        {
+            present.insert((tokens[i + 3].text.clone(), tokens[i + 5].text.clone()));
+        }
+    }
+    let has = |levels: &[&str], lint: &str| {
+        levels
+            .iter()
+            .any(|lv| present.contains(&((*lv).to_owned(), lint.to_owned())))
+    };
+    let mut require = |ok: bool, wanted: &str| {
+        if !ok {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: 1,
+                rule: "attributes".to_owned(),
+                message: format!("crate root is missing `#![{wanted}]` (standard prelude)"),
+            });
+        }
+    };
+    require(has(&["forbid"], "unsafe_code"), "forbid(unsafe_code)");
+    require(
+        has(&["deny", "forbid"], "missing_docs"),
+        "deny(missing_docs)",
+    );
+    require(
+        has(&["warn", "deny", "forbid"], "missing_debug_implementations"),
+        "warn(missing_debug_implementations)",
+    );
+}
+
+/// Applies `xtask-allow` pragmas to the raw violation list and
+/// appends pragma-hygiene diagnostics (unknown rule, missing
+/// justification, unused allow).
+fn apply_allows(file: &str, lexed: &Lexed, raw: Vec<Violation>) -> Vec<Violation> {
+    // Effective line covered by each line-level pragma: its own line
+    // if trailing, else the next line carrying any code token.
+    let covered_line = |p: &crate::lexer::Pragma| -> Option<usize> {
+        if p.trailing {
+            return Some(p.line);
+        }
+        lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > p.line)
+            .min()
+    };
+    let mut used = vec![false; lexed.pragmas.len()];
+    let mut out = Vec::new();
+
+    for v in raw {
+        let mut suppressed = false;
+        for (pi, p) in lexed.pragmas.iter().enumerate() {
+            if !p.rules.iter().any(|r| r == &v.rule) {
+                continue;
+            }
+            let applies = p.file_level || covered_line(p) == Some(v.line);
+            if applies {
+                used[pi] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(v);
+        }
+    }
+
+    for (pi, p) in lexed.pragmas.iter().enumerate() {
+        let scope = if p.file_level {
+            "xtask-allow-file"
+        } else {
+            "xtask-allow"
+        };
+        if p.rules.is_empty() {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: p.line,
+                rule: "allow".to_owned(),
+                message: format!("`{scope}` pragma lists no rules"),
+            });
+            continue;
+        }
+        for r in &p.rules {
+            if !KNOWN_RULES.contains(&r.as_str()) {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: p.line,
+                    rule: "allow".to_owned(),
+                    message: format!(
+                        "`{scope}` names unknown rule `{r}` (known: {})",
+                        KNOWN_RULES.join(", ")
+                    ),
+                });
+            }
+        }
+        if !p.has_justification {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: p.line,
+                rule: "allow".to_owned(),
+                message: format!("`{scope}` requires a justification: `-- <why this is sound>`"),
+            });
+        }
+        if !used[pi] && p.rules.iter().all(|r| KNOWN_RULES.contains(&r.as_str())) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: p.line,
+                rule: "allow".to_owned(),
+                message: format!(
+                    "unused `{scope}` (no `{}` diagnostic here); remove it",
+                    p.rules.join("`/`")
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}

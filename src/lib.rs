@@ -55,7 +55,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub use lcrb_community as community;
 pub use lcrb_datasets as datasets;
