@@ -5,7 +5,8 @@
 //! experiments <fig4|fig5|fig6|fig7|fig8|fig9|table1|sources|all>
 //!             [--scale S] [--runs N] [--seed K] [--trials T]
 //!             [--realizations R] [--out DIR] [--full-greedy]
-//!             [--heterogeneous]
+//!             [--heterogeneous] [--estimator mc|sketch]
+//!             [--epsilon E] [--delta D]
 //! ```
 //!
 //! Defaults: DOAM experiments (fig7–9, table1) run at the paper's
@@ -17,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use lcrb::CandidatePool;
+use lcrb::{CandidatePool, Estimator, SketchParams};
 use lcrb_bench::harness::{
     figure_spec, run_doam_figure, run_opoao_figure, run_source_detection, run_table_one,
     FigureResult, HarnessConfig, FIGURES,
@@ -33,6 +34,9 @@ struct CliOptions {
     out: String,
     full_greedy: bool,
     heterogeneous: bool,
+    estimator: Estimator,
+    epsilon: Option<f64>,
+    delta: Option<f64>,
 }
 
 impl Default for CliOptions {
@@ -46,6 +50,9 @@ impl Default for CliOptions {
             out: "results".to_owned(),
             full_greedy: false,
             heterogeneous: false,
+            estimator: Estimator::default(),
+            epsilon: None,
+            delta: None,
         }
     }
 }
@@ -53,7 +60,8 @@ impl Default for CliOptions {
 fn usage() -> &'static str {
     "usage: experiments <fig4|fig5|fig6|fig7|fig8|fig9|table1|sources|all> \
      [--scale S] [--runs N] [--seed K] [--trials T] [--realizations R] \
-     [--out DIR] [--full-greedy] [--heterogeneous]"
+     [--out DIR] [--full-greedy] [--heterogeneous] [--estimator mc|sketch] \
+     [--epsilon E] [--delta D]"
 }
 
 fn parse_options(args: &[String]) -> Result<CliOptions, String> {
@@ -98,8 +106,39 @@ fn parse_options(args: &[String]) -> Result<CliOptions, String> {
             "--out" => opts.out = value("--out")?,
             "--full-greedy" => opts.full_greedy = true,
             "--heterogeneous" => opts.heterogeneous = true,
+            "--estimator" => {
+                opts.estimator = match value("--estimator")?.as_str() {
+                    "mc" => Estimator::MonteCarlo,
+                    "sketch" => Estimator::Sketch(SketchParams::default()),
+                    other => return Err(format!("--estimator must be mc or sketch, got {other}")),
+                };
+            }
+            "--epsilon" => {
+                opts.epsilon = Some(
+                    value("--epsilon")?
+                        .parse()
+                        .map_err(|e| format!("bad --epsilon: {e}"))?,
+                );
+            }
+            "--delta" => {
+                opts.delta = Some(
+                    value("--delta")?
+                        .parse()
+                        .map_err(|e| format!("bad --delta: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
+    }
+    if let Estimator::Sketch(ref mut params) = opts.estimator {
+        if let Some(e) = opts.epsilon {
+            params.epsilon = e;
+        }
+        if let Some(d) = opts.delta {
+            params.delta = d;
+        }
+    } else if opts.epsilon.is_some() || opts.delta.is_some() {
+        return Err("--epsilon/--delta require --estimator sketch".to_owned());
     }
     Ok(opts)
 }
@@ -117,6 +156,7 @@ fn harness_config(opts: &CliOptions, default_scale: f64) -> HarnessConfig {
             CandidatePool::BackwardRadius(1)
         },
         heterogeneous: opts.heterogeneous,
+        estimator: opts.estimator,
     }
 }
 
@@ -153,11 +193,18 @@ fn run_figure(id: &str, opts: &CliOptions) -> Result<(), String> {
     let spec = figure_spec(id).ok_or_else(|| format!("unknown figure {id}"))?;
     let is_opoao = matches!(id, "fig4" | "fig5" | "fig6");
     let cfg = harness_config(opts, if is_opoao { 0.2 } else { 1.0 });
-    eprintln!(
-        "running {id} at scale {} ({} mode)...",
-        cfg.scale,
-        if is_opoao { "OPOAO" } else { "DOAM" }
-    );
+    if is_opoao {
+        let estimator = match cfg.estimator {
+            Estimator::MonteCarlo => "mc",
+            Estimator::Sketch(_) => "sketch",
+        };
+        eprintln!(
+            "running {id} at scale {} (OPOAO mode, {estimator} estimator)...",
+            cfg.scale
+        );
+    } else {
+        eprintln!("running {id} at scale {} (DOAM mode)...", cfg.scale);
+    }
     let result = if is_opoao {
         run_opoao_figure(&spec, &cfg)
     } else {

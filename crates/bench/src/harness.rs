@@ -9,8 +9,9 @@ use rand::SeedableRng;
 
 use lcrb::evaluate::{evaluate_protector_sets, HopSeriesReport};
 use lcrb::{
-    greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule, CandidatePool, GreedyConfig,
-    MaxDegreeSelector, ProtectorSelector, ProximitySelector, RumorBlockingInstance, ScbgConfig,
+    greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule, CandidatePool, Estimator,
+    GreedyConfig, MaxDegreeSelector, ProtectorSelector, ProximitySelector, RumorBlockingInstance,
+    ScbgConfig,
 };
 use lcrb_datasets::{
     enron_like, enron_like_heterogeneous, hep_like, hep_like_heterogeneous, DatasetConfig,
@@ -159,6 +160,10 @@ pub struct HarnessConfig {
     pub greedy_pool: CandidatePool,
     /// Use the degree-heterogeneous (Chung–Lu) dataset variants.
     pub heterogeneous: bool,
+    /// σ̂ estimator driving the LCRB-P greedy in the OPOAO figures:
+    /// fixed-realization Monte Carlo (the paper's Algorithm 1) or the
+    /// RR-sketch estimator (`--estimator sketch`).
+    pub estimator: Estimator,
 }
 
 impl Default for HarnessConfig {
@@ -171,6 +176,7 @@ impl Default for HarnessConfig {
             realizations: 16,
             greedy_pool: CandidatePool::BackwardRadius(1),
             heterogeneous: false,
+            estimator: Estimator::default(),
         }
     }
 }
@@ -239,6 +245,7 @@ pub fn run_opoao_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult 
             realizations: cfg.realizations,
             master_seed: cfg.seed,
             candidates: cfg.greedy_pool,
+            estimator: cfg.estimator,
             ..GreedyConfig::default()
         };
         let greedy = greedy_with_budget(&inst, budget, &greedy_cfg)
@@ -564,6 +571,28 @@ mod tests {
             doam2.top10pct,
             doam2.trials
         );
+    }
+
+    #[test]
+    fn sketch_estimator_plugs_into_opoao_figures() {
+        let cfg = HarnessConfig {
+            estimator: Estimator::Sketch(lcrb::SketchParams {
+                epsilon: 0.25,
+                delta: 0.1,
+                min_sketches: 64,
+                max_sketches: 1024,
+            }),
+            ..quick_cfg()
+        };
+        let spec = figure_spec("fig5").unwrap();
+        let result = run_opoao_figure(&spec, &cfg);
+        assert_eq!(result.subs.len(), 3);
+        for sub in &result.subs {
+            // The sketch-selected greedy still beats doing nothing.
+            let greedy = sub.report.runs[0].averaged.mean_final_infected();
+            let nb = sub.report.runs[3].averaged.mean_final_infected();
+            assert!(greedy <= nb + 1e-9);
+        }
     }
 
     #[test]

@@ -42,6 +42,14 @@ pub enum LcrbError {
     /// The greedy configuration requested zero Monte-Carlo
     /// realizations.
     NoRealizations,
+    /// The sketch estimator's accuracy parameters are out of range.
+    InvalidSketchParams {
+        /// What was wrong with the parameters.
+        reason: &'static str,
+    },
+    /// The sketch estimator only supports the OPOAO objective model
+    /// (RR sketches invert OPOAO live-edge semantics).
+    SketchModelUnsupported,
 }
 
 impl fmt::Display for LcrbError {
@@ -70,6 +78,12 @@ impl fmt::Display for LcrbError {
             }
             LcrbError::NoRealizations => {
                 f.write_str("the greedy objective needs at least one realization")
+            }
+            LcrbError::InvalidSketchParams { reason } => {
+                write!(f, "invalid sketch estimator parameters: {reason}")
+            }
+            LcrbError::SketchModelUnsupported => {
+                f.write_str("the sketch estimator supports only the OPOAO objective model")
             }
         }
     }

@@ -20,8 +20,8 @@ use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
 use crate::{
-    find_bridge_ends, BridgeEndRule, BridgeEnds, LcrbError, ObjectiveModel, ProtectionObjective,
-    RumorBlockingInstance,
+    find_bridge_ends, BridgeEndRule, BridgeEnds, CoverageScratch, LcrbError, ObjectiveModel,
+    ProtectionObjective, RumorBlockingInstance, SketchObjective, SketchParams,
 };
 
 /// Where Algorithm 1 looks for protector candidates.
@@ -43,6 +43,23 @@ pub enum CandidatePool {
     /// the rumor to some bridge end under DOAM timing. The default.
     #[default]
     BbstUnion,
+}
+
+/// How the greedy estimates `σ̂` (see DESIGN.md "Estimators").
+///
+/// Monte Carlo re-simulates the realization batch for every marginal
+/// gain query; the sketch estimator pays a one-time RR-sketch sample
+/// and answers every query by coverage counting
+/// ([`SketchObjective`]). Sketches require the OPOAO objective model
+/// and ignore [`GreedyConfig::realizations`] (the sample size comes
+/// from the `(ε, δ)` schedule in [`SketchParams`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Estimator {
+    /// Simulation over the coupled realization batch (the default).
+    #[default]
+    MonteCarlo,
+    /// Reverse-reachable sketch coverage (the RIS estimator).
+    Sketch(SketchParams),
 }
 
 /// Configuration for [`greedy_lcrb_p`] and [`greedy_with_budget`].
@@ -73,6 +90,9 @@ pub struct GreedyConfig {
     /// Worker threads for the initial gain sweep (0 = available
     /// parallelism).
     pub threads: usize,
+    /// How `σ̂` is estimated: Monte-Carlo simulation or RR-sketch
+    /// coverage.
+    pub estimator: Estimator,
 }
 
 impl Default for GreedyConfig {
@@ -88,6 +108,7 @@ impl Default for GreedyConfig {
             lazy: true,
             rule: BridgeEndRule::default(),
             threads: 0,
+            estimator: Estimator::default(),
         }
     }
 }
@@ -175,6 +196,30 @@ pub fn greedy_with_budget(
     run_greedy(instance, config, Some(budget))
 }
 
+/// The `σ̂` estimator selected by [`GreedyConfig::estimator`], behind
+/// one `sigma_with`-shaped call for the CELF loop.
+enum SigmaBackend<'a> {
+    Mc(ProtectionObjective<'a>),
+    Sketch(SketchObjective<'a>),
+}
+
+/// Per-worker scratch covering either backend (both halves are empty
+/// `Vec`s until first used, so carrying the unused one is free).
+#[derive(Default)]
+struct SigmaScratch {
+    ws: SimWorkspace,
+    coverage: CoverageScratch,
+}
+
+impl SigmaBackend<'_> {
+    fn sigma_with(&self, protectors: &[NodeId], s: &mut SigmaScratch) -> Result<f64, LcrbError> {
+        match self {
+            SigmaBackend::Mc(obj) => obj.sigma_with(protectors, &mut s.ws),
+            SigmaBackend::Sketch(obj) => obj.sigma_with(protectors, &mut s.coverage),
+        }
+    }
+}
+
 fn run_greedy(
     instance: &RumorBlockingInstance,
     config: &GreedyConfig,
@@ -188,13 +233,27 @@ fn run_greedy(
         }
         other => other,
     };
-    let objective = ProtectionObjective::with_model(
-        instance,
-        bridge_ends.nodes.clone(),
-        model,
-        config.realizations,
-        config.master_seed,
-    )?;
+    let objective = match config.estimator {
+        Estimator::MonteCarlo => SigmaBackend::Mc(ProtectionObjective::with_model(
+            instance,
+            bridge_ends.nodes.clone(),
+            model,
+            config.realizations,
+            config.master_seed,
+        )?),
+        Estimator::Sketch(params) => {
+            if !matches!(model, ObjectiveModel::Opoao(_)) {
+                return Err(LcrbError::SketchModelUnsupported);
+            }
+            SigmaBackend::Sketch(SketchObjective::build(
+                instance,
+                bridge_ends.nodes.clone(),
+                params,
+                config.master_seed,
+                config.max_hops,
+            )?)
+        }
+    };
     let target = match budget {
         Some(_) => f64::INFINITY,
         None => config.alpha * bridge_ends.len() as f64,
@@ -208,9 +267,10 @@ fn run_greedy(
     let mut sigma_history = Vec::new();
     let mut evaluations = 0usize;
 
-    // One long-lived workspace drives every σ̂ evaluation of the
-    // sequential CELF loop against the instance's CSR snapshot.
-    let mut ws = SimWorkspace::with_capacity(instance.graph().node_count());
+    // One long-lived scratch drives every σ̂ evaluation of the
+    // sequential CELF loop (a `SimWorkspace` against the CSR snapshot
+    // for Monte Carlo, coverage stamps for sketches).
+    let mut ws = SigmaScratch::default();
     let mut sigma_current = objective.sigma_with(&selected, &mut ws)?;
     evaluations += 1;
 
@@ -348,7 +408,7 @@ fn candidate_pool(
 }
 
 fn parallel_initial_gains(
-    objective: &ProtectionObjective<'_>,
+    objective: &SigmaBackend<'_>,
     candidates: &[NodeId],
     sigma_empty: f64,
     threads: usize,
@@ -364,7 +424,7 @@ fn parallel_initial_gains(
     .max(1);
 
     if threads == 1 {
-        let mut ws = SimWorkspace::new();
+        let mut ws = SigmaScratch::default();
         return candidates
             .iter()
             .map(|&c| Ok(objective.sigma_with(&[c], &mut ws)? - sigma_empty))
@@ -374,9 +434,9 @@ fn parallel_initial_gains(
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             handles.push(scope.spawn(move || {
-                // One workspace per worker for the whole sweep: the
+                // One scratch per worker for the whole sweep: the
                 // objective is shared immutably, scratch is private.
-                let mut ws = SimWorkspace::new();
+                let mut ws = SigmaScratch::default();
                 // xtask-allow: hotpath -- one accumulator per worker thread for the whole sweep
                 let mut partial = Vec::new();
                 let mut i = t;
@@ -582,6 +642,79 @@ mod tests {
         if sel.target_met {
             assert!(sel.achieved >= sel.target - 1e-9);
         }
+    }
+
+    #[test]
+    fn sketch_estimator_solves_the_chain() {
+        let inst = chain_instance();
+        let cfg = GreedyConfig {
+            alpha: 1.0,
+            estimator: Estimator::Sketch(SketchParams::default()),
+            ..GreedyConfig::default()
+        };
+        let sel = greedy_lcrb_p(&inst, &cfg).unwrap();
+        assert!(sel.target_met);
+        assert_eq!(sel.protectors.len(), 1);
+        // On the forced chain the only useful picks are 1 and 2.
+        assert!(matches!(sel.protectors[0].raw(), 1 | 2));
+    }
+
+    #[test]
+    fn sketch_estimator_rejects_non_opoao_models() {
+        use lcrb_diffusion::CompetitiveIcModel;
+        let inst = chain_instance();
+        let cfg = GreedyConfig {
+            estimator: Estimator::Sketch(SketchParams::default()),
+            model: ObjectiveModel::CompetitiveIc(CompetitiveIcModel::new(0.5).unwrap()),
+            ..GreedyConfig::default()
+        };
+        assert!(matches!(
+            greedy_lcrb_p(&inst, &cfg).unwrap_err(),
+            LcrbError::SketchModelUnsupported
+        ));
+    }
+
+    #[test]
+    fn sketch_estimator_is_deterministic_across_threads() {
+        let inst = community_instance(17);
+        let base = GreedyConfig {
+            estimator: Estimator::Sketch(SketchParams::default()),
+            alpha: 0.7,
+            threads: 1,
+            ..GreedyConfig::default()
+        };
+        let a = greedy_lcrb_p(&inst, &base).unwrap();
+        let b = greedy_lcrb_p(&inst, &GreedyConfig { threads: 4, ..base }).unwrap();
+        assert_eq!(a.protectors, b.protectors);
+        assert_eq!(a.achieved, b.achieved);
+    }
+
+    #[test]
+    fn sketch_and_mc_selections_have_comparable_quality() {
+        let inst = community_instance(19);
+        let mc_cfg = GreedyConfig {
+            realizations: 32,
+            ..GreedyConfig::default()
+        };
+        let sk_cfg = GreedyConfig {
+            estimator: Estimator::Sketch(SketchParams::default()),
+            ..GreedyConfig::default()
+        };
+        let budget = 3;
+        let mc = greedy_with_budget(&inst, budget, &mc_cfg).unwrap();
+        let sk = greedy_with_budget(&inst, budget, &sk_cfg).unwrap();
+        // Judge both selections with the same MC objective.
+        let bridges = find_bridge_ends(&inst, BridgeEndRule::default());
+        let judge = ProtectionObjective::new(&inst, bridges.nodes, 64, 123, 31).unwrap();
+        let empty = judge.sigma(&[]).unwrap();
+        let mc_q = judge.sigma(&mc.protectors).unwrap();
+        let sk_q = judge.sigma(&sk.protectors).unwrap();
+        assert!(sk_q >= empty, "sketch pick must not hurt");
+        // The sketch pick recovers most of the MC pick's improvement.
+        assert!(
+            sk_q - empty >= 0.5 * (mc_q - empty) - 1e-9,
+            "sketch quality {sk_q} too far below MC {mc_q} (empty {empty})"
+        );
     }
 
     #[test]

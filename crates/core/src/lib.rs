@@ -64,11 +64,14 @@ mod instance;
 mod objective;
 mod scbg;
 pub mod setcover;
+mod sketch_objective;
 pub mod source;
 
 pub use bridge::{find_bridge_ends, BridgeEndRule, BridgeEnds};
 pub use error::LcrbError;
-pub use greedy::{greedy_lcrb_p, greedy_with_budget, CandidatePool, GreedyConfig, GreedySelection};
+pub use greedy::{
+    greedy_lcrb_p, greedy_with_budget, CandidatePool, Estimator, GreedyConfig, GreedySelection,
+};
 pub use gvs::{greedy_viral_stopper, GvsConfig, GvsSelection};
 pub use heuristics::{
     protectors_to_cover_all, MaxDegreeSelector, NoBlockingSelector, PageRankSelector,
@@ -77,3 +80,4 @@ pub use heuristics::{
 pub use instance::RumorBlockingInstance;
 pub use objective::{ObjectiveModel, ProtectionObjective};
 pub use scbg::{scbg, scbg_weighted, ScbgConfig, ScbgSolution};
+pub use sketch_objective::{CoverageScratch, SketchObjective, SketchParams};

@@ -1,0 +1,544 @@
+//! The sketch-backed protector-influence estimator (RIS) for LCRB-P.
+//!
+//! [`crate::ProtectionObjective`] pays `realizations` full forward
+//! simulations per `σ̂` query. [`SketchObjective`] instead pays once
+//! up front: it samples θ pairs (bridge end `v`, realization φ),
+//! inverts each into a reverse-reachable sketch
+//! ([`lcrb_diffusion::rr_sketch_into`]), and answers every subsequent
+//! query by weighted max-coverage over an inverted node → sketch
+//! index — no simulation at query time. This is the estimator of
+//! Tong et al. (*An Efficient Randomized Algorithm for Rumor
+//! Blocking in Online Social Networks*) adapted to the paper's OPOAO
+//! semantics and bridge-end objective.
+//!
+//! ## Sampling bound
+//!
+//! With θ sketches, `σ̂(A)/|B|` is the empirical mean of θ i.i.d.
+//! Bernoulli variables with mean `σ(A)/|B|`, so Hoeffding gives
+//! `|σ̂(A) − σ(A)| ≤ ε·|B|` with probability `1 − δ` once
+//! `θ ≥ ln(2/δ) / (2ε²)` — the schedule's floor. Because LCRB-P
+//! cares about *relative* quality of the best candidates, the
+//! schedule then keeps doubling θ until the empirical-Bernstein
+//! condition `θ ≥ (2 + 2ε/3)·ln(2/δ) / (ε²·p̂)` holds for the best
+//! observed singleton coverage `p̂` (relative ±ε accuracy at scale
+//! `p̂`), or [`SketchParams::max_sketches`] is reached. Coverage is
+//! monotone and submodular per sketch, so CELF remains sound on the
+//! sketch objective.
+
+use lcrb_diffusion::{rr_sketch_into, OpoaoRealization, RrScratch, SketchBatch};
+use lcrb_graph::NodeId;
+
+use crate::{LcrbError, RumorBlockingInstance};
+
+/// Accuracy parameters of the adaptive sketch schedule.
+///
+/// `epsilon` is the additive accuracy target for coverage
+/// probabilities (fraction of bridge ends), `delta` the failure
+/// probability of the concentration bound; `min_sketches` and
+/// `max_sketches` clamp the schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SketchParams {
+    /// Coverage-probability accuracy target, in `(0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability of the sampling bound, in `(0, 1)`.
+    pub delta: f64,
+    /// Lower clamp on the sketch count.
+    pub min_sketches: usize,
+    /// Upper clamp on the sketch count (the adaptive doubling stops
+    /// here at the latest).
+    pub max_sketches: usize,
+}
+
+impl Default for SketchParams {
+    fn default() -> Self {
+        SketchParams {
+            epsilon: 0.1,
+            delta: 0.05,
+            min_sketches: 256,
+            max_sketches: 1 << 16,
+        }
+    }
+}
+
+impl SketchParams {
+    fn validate(self) -> Result<(), LcrbError> {
+        let prob = |x: f64| x.is_finite() && x > 0.0 && x < 1.0;
+        if !prob(self.epsilon) {
+            return Err(LcrbError::InvalidSketchParams {
+                reason: "epsilon must be in (0, 1)",
+            });
+        }
+        if !prob(self.delta) {
+            return Err(LcrbError::InvalidSketchParams {
+                reason: "delta must be in (0, 1)",
+            });
+        }
+        if self.min_sketches == 0 || self.max_sketches < self.min_sketches {
+            return Err(LcrbError::InvalidSketchParams {
+                reason: "need 1 <= min_sketches <= max_sketches",
+            });
+        }
+        Ok(())
+    }
+
+    /// Hoeffding floor `ln(2/δ) / (2ε²)` clamped to the configured
+    /// sketch-count window.
+    fn floor(self) -> usize {
+        let raw = ((2.0 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil();
+        let raw = if raw.is_finite() && raw > 0.0 {
+            raw as usize
+        } else {
+            self.max_sketches
+        };
+        raw.clamp(self.min_sketches, self.max_sketches)
+    }
+
+    /// Empirical-Bernstein requirement for relative ±ε accuracy at
+    /// coverage scale `p_hat`.
+    fn required_for(self, p_hat: f64) -> f64 {
+        (2.0 + 2.0 * self.epsilon / 3.0) * (2.0 / self.delta).ln()
+            / (self.epsilon * self.epsilon * p_hat)
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[inline]
+fn mix(master: u64, stream: u64) -> u64 {
+    splitmix64(master ^ splitmix64(stream))
+}
+
+/// Epoch-versioned scratch for [`SketchObjective::sigma_with`]
+/// queries (sketch-id coverage stamps; the
+/// [`lcrb_diffusion::SimWorkspace`] pattern).
+#[derive(Clone, Debug, Default)]
+pub struct CoverageScratch {
+    epoch: u32,
+    stamp: Vec<u32>,
+}
+
+impl CoverageScratch {
+    /// Creates an empty scratch; grows on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        CoverageScratch::default()
+    }
+
+    fn begin(&mut self, sketch_count: usize) -> u32 {
+        if self.stamp.len() < sketch_count {
+            self.stamp.resize(sketch_count, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+/// A reusable sketch-backed evaluator of `σ̂` (weighted max-coverage
+/// over RR sketches).
+///
+/// Built once per greedy run via [`SketchObjective::build`]; queries
+/// through [`SketchObjective::sigma_with`] touch only the inverted
+/// index — no diffusion simulation.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb::{RumorBlockingInstance, SketchObjective, SketchParams};
+/// use lcrb_community::Partition;
+/// use lcrb_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+/// let p = Partition::from_labels(vec![0, 0, 1, 1]);
+/// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+/// let obj = SketchObjective::build(&inst, vec![NodeId::new(2)], SketchParams::default(), 0, 31)?;
+/// // On a path the walk is forced: unprotected, the bridge end is
+/// // always infected; protected directly, always saved.
+/// assert_eq!(obj.sigma(&[])?, 0.0);
+/// assert_eq!(obj.sigma(&[NodeId::new(2)])?, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SketchObjective<'a> {
+    instance: &'a RumorBlockingInstance,
+    bridge_ends: Vec<NodeId>,
+    /// θ: total sketches drawn (stored + always-saved).
+    total: u64,
+    always_saved: u64,
+    set_count: usize,
+    /// Inverted node → sketch-id index, CSR layout over all nodes.
+    index_offsets: Vec<u32>,
+    index_ids: Vec<u32>,
+}
+
+impl<'a> SketchObjective<'a> {
+    /// Samples RR sketches for `bridge_ends` under the adaptive
+    /// `(ε, δ)` schedule and builds the inverted coverage index.
+    ///
+    /// `master_seed` makes the sample fully deterministic; `max_hops`
+    /// bounds each sketch's temporal search exactly like the OPOAO
+    /// simulation hop budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::InvalidSketchParams`] if `params` is out
+    /// of range.
+    pub fn build(
+        instance: &'a RumorBlockingInstance,
+        bridge_ends: Vec<NodeId>,
+        params: SketchParams,
+        master_seed: u64,
+        max_hops: u32,
+    ) -> Result<Self, LcrbError> {
+        params.validate()?;
+        let n = instance.graph().node_count();
+        let csr = instance.snapshot();
+        let rumors = instance.rumor_seeds();
+
+        let mut batch = SketchBatch::new();
+        let mut scratch = RrScratch::new();
+        // xtask-allow: hotpath -- build-phase singleton-coverage counts, one u32 per node
+        let mut cover = vec![0u32; n];
+        // xtask-allow: hotpath -- build-phase rumor-seed mask for the p̂ scan
+        let mut is_rumor = vec![false; n];
+        for &r in rumors {
+            is_rumor[r.index()] = true;
+        }
+
+        if !bridge_ends.is_empty() {
+            let mut theta = params.floor();
+            let mut generated = 0usize;
+            let mut first_stored = 0usize;
+            loop {
+                while generated < theta {
+                    let target = bridge_ends[(mix(master_seed, 2 * generated as u64)
+                        % bridge_ends.len() as u64)
+                        as usize];
+                    let realization =
+                        OpoaoRealization::new(mix(master_seed, 2 * generated as u64 + 1));
+                    rr_sketch_into(
+                        csr,
+                        rumors,
+                        target,
+                        &realization,
+                        max_hops,
+                        &mut scratch,
+                        &mut batch,
+                    );
+                    generated += 1;
+                }
+                for s in first_stored..batch.set_count() {
+                    for &u in batch.members(s) {
+                        cover[u.index()] += 1;
+                    }
+                }
+                first_stored = batch.set_count();
+                if theta >= params.max_sketches {
+                    break;
+                }
+                // Best observed placeable singleton coverage p̂ (rumor
+                // seeds cannot host protectors).
+                let best = cover
+                    .iter()
+                    .zip(is_rumor.iter())
+                    .filter(|&(_, &r)| !r)
+                    .map(|(&c, _)| c)
+                    .max()
+                    .unwrap_or(0);
+                let p_hat = ((batch.always_saved() + u64::from(best)).max(1)) as f64 / theta as f64;
+                if theta as f64 >= params.required_for(p_hat) {
+                    break;
+                }
+                theta = (theta * 2).min(params.max_sketches);
+            }
+        }
+
+        // Invert: CSR index node -> ids of stored sketches containing
+        // it. `cover` already holds the per-node counts.
+        // xtask-allow: hotpath -- build-phase index construction, once per objective
+        let mut index_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            index_offsets[v + 1] = index_offsets[v] + cover[v];
+        }
+        // xtask-allow: hotpath -- build-phase index construction, once per objective
+        let mut index_ids = vec![0u32; index_offsets[n] as usize];
+        // Reuse `cover` as per-node write cursors.
+        cover.fill(0);
+        for s in 0..batch.set_count() {
+            for &u in batch.members(s) {
+                let slot = index_offsets[u.index()] + cover[u.index()];
+                index_ids[slot as usize] = s as u32;
+                cover[u.index()] += 1;
+            }
+        }
+
+        Ok(SketchObjective {
+            instance,
+            bridge_ends,
+            total: batch.total(),
+            always_saved: batch.always_saved(),
+            set_count: batch.set_count(),
+            index_offsets,
+            index_ids,
+        })
+    }
+
+    /// The bridge ends the objective counts over.
+    #[must_use]
+    pub fn bridge_ends(&self) -> &[NodeId] {
+        &self.bridge_ends
+    }
+
+    /// θ: total sketches drawn by the schedule (stored +
+    /// always-saved).
+    #[must_use]
+    pub fn sketch_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sketches whose target the rumor never reaches within the hop
+    /// budget (saved under every protector set).
+    #[must_use]
+    pub fn always_saved(&self) -> u64 {
+        self.always_saved
+    }
+
+    /// `σ̂(protectors)` — one-off convenience around
+    /// [`SketchObjective::sigma_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::Seeds`] if `protectors` is out of bounds
+    /// or overlaps the rumor seeds.
+    pub fn sigma(&self, protectors: &[NodeId]) -> Result<f64, LcrbError> {
+        let mut scratch = CoverageScratch::new();
+        self.sigma_with(protectors, &mut scratch)
+    }
+
+    /// `σ̂(protectors)` by weighted max-coverage: `|B| ·
+    /// (always_saved + covered) / θ`, where `covered` counts stored
+    /// sketches intersecting `protectors`.
+    ///
+    /// Steady-state queries allocate nothing: coverage marks live in
+    /// the caller-owned epoch-versioned `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::Seeds`] if `protectors` is out of bounds
+    /// or overlaps the rumor seeds (mirroring
+    /// [`crate::ProtectionObjective::sigma_with`]).
+    pub fn sigma_with(
+        &self,
+        protectors: &[NodeId],
+        scratch: &mut CoverageScratch,
+    ) -> Result<f64, LcrbError> {
+        let n = self.instance.graph().node_count();
+        if protectors
+            .iter()
+            .any(|&p| p.index() >= n || self.instance.is_rumor_seed(p))
+        {
+            // Delegate to the canonical validator so the error value
+            // matches the Monte-Carlo objective exactly.
+            self.instance.seed_sets(protectors.to_vec())?;
+        }
+        if self.total == 0 {
+            return Ok(0.0);
+        }
+        let epoch = scratch.begin(self.set_count);
+        let mut covered = 0u64;
+        for &p in protectors {
+            let lo = self.index_offsets[p.index()] as usize;
+            let hi = self.index_offsets[p.index() + 1] as usize;
+            for &id in &self.index_ids[lo..hi] {
+                if scratch.stamp[id as usize] != epoch {
+                    scratch.stamp[id as usize] = epoch;
+                    covered += 1;
+                }
+            }
+        }
+        Ok(
+            self.bridge_ends.len() as f64 * (self.always_saved + covered) as f64
+                / self.total as f64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcrb_community::Partition;
+    use lcrb_graph::{generators, DiGraph};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chain_instance() -> RumorBlockingInstance {
+        let g = generators::path_graph(4);
+        let p = Partition::from_labels(vec![0, 0, 1, 1]);
+        RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap()
+    }
+
+    fn community_instance(seed: u64) -> RumorBlockingInstance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (g, labels) =
+            generators::planted_partition(&[15, 15], 0.3, 0.05, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let inst = chain_instance();
+        for params in [
+            SketchParams {
+                epsilon: 0.0,
+                ..SketchParams::default()
+            },
+            SketchParams {
+                epsilon: 1.0,
+                ..SketchParams::default()
+            },
+            SketchParams {
+                delta: f64::NAN,
+                ..SketchParams::default()
+            },
+            SketchParams {
+                min_sketches: 0,
+                ..SketchParams::default()
+            },
+            SketchParams {
+                min_sketches: 100,
+                max_sketches: 10,
+                ..SketchParams::default()
+            },
+        ] {
+            assert!(matches!(
+                SketchObjective::build(&inst, vec![NodeId::new(2)], params, 0, 31).unwrap_err(),
+                LcrbError::InvalidSketchParams { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn chain_sigma_is_exact() {
+        let inst = chain_instance();
+        let obj =
+            SketchObjective::build(&inst, vec![NodeId::new(2)], SketchParams::default(), 7, 31)
+                .unwrap();
+        // Forced walk: rumor always reaches bridge end 2 (no
+        // always-saved sketches), and every sketch contains {1, 2}.
+        assert_eq!(obj.always_saved(), 0);
+        assert_eq!(obj.sigma(&[]).unwrap(), 0.0);
+        assert_eq!(obj.sigma(&[NodeId::new(1)]).unwrap(), 1.0);
+        assert_eq!(obj.sigma(&[NodeId::new(2)]).unwrap(), 1.0);
+        assert_eq!(obj.sigma(&[NodeId::new(3)]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sigma_is_deterministic_and_monotone() {
+        let inst = community_instance(3);
+        let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
+        if b.nodes.is_empty() {
+            return;
+        }
+        let o1 =
+            SketchObjective::build(&inst, b.nodes.clone(), SketchParams::default(), 5, 31).unwrap();
+        let o2 =
+            SketchObjective::build(&inst, b.nodes.clone(), SketchParams::default(), 5, 31).unwrap();
+        let set = [b.nodes[0]];
+        assert_eq!(o1.sigma(&set).unwrap(), o2.sigma(&set).unwrap());
+        // Monotone: supersets never decrease coverage.
+        let base = o1.sigma(&[]).unwrap();
+        let one = o1.sigma(&set).unwrap();
+        assert!(one >= base);
+        if b.nodes.len() > 1 {
+            let two = o1.sigma(&[b.nodes[0], b.nodes[1]]).unwrap();
+            assert!(two >= one);
+        }
+    }
+
+    #[test]
+    fn invalid_protectors_mirror_mc_errors() {
+        let inst = chain_instance();
+        let obj =
+            SketchObjective::build(&inst, vec![NodeId::new(2)], SketchParams::default(), 0, 31)
+                .unwrap();
+        assert!(matches!(
+            obj.sigma(&[NodeId::new(0)]).unwrap_err(),
+            LcrbError::Seeds(_)
+        ));
+        assert!(obj.sigma(&[NodeId::new(99)]).is_err());
+    }
+
+    #[test]
+    fn empty_bridge_ends_give_zero_sigma() {
+        let inst = chain_instance();
+        let obj =
+            SketchObjective::build(&inst, Vec::new(), SketchParams::default(), 0, 31).unwrap();
+        assert_eq!(obj.sketch_count(), 0);
+        assert_eq!(obj.sigma(&[NodeId::new(2)]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unreachable_targets_are_always_saved() {
+        // Rumor in {0,1}, bridge end 3 unreachable (edge 2->3 only).
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let p = Partition::from_labels(vec![0, 0, 1, 1]);
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
+        let obj =
+            SketchObjective::build(&inst, vec![NodeId::new(3)], SketchParams::default(), 1, 31)
+                .unwrap();
+        assert_eq!(obj.always_saved(), obj.sketch_count());
+        assert_eq!(obj.sigma(&[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn schedule_respects_clamps() {
+        let inst = chain_instance();
+        let params = SketchParams {
+            epsilon: 0.3,
+            delta: 0.2,
+            min_sketches: 16,
+            max_sketches: 64,
+        };
+        let obj = SketchObjective::build(&inst, vec![NodeId::new(2)], params, 0, 31).unwrap();
+        assert!(obj.sketch_count() >= 16);
+        assert!(obj.sketch_count() <= 64);
+        // A generous epsilon keeps the floor small; a tight one on the
+        // same instance draws strictly more sketches.
+        let tight = SketchParams {
+            epsilon: 0.05,
+            delta: 0.01,
+            min_sketches: 16,
+            max_sketches: 1 << 14,
+        };
+        let obj2 = SketchObjective::build(&inst, vec![NodeId::new(2)], tight, 0, 31).unwrap();
+        assert!(obj2.sketch_count() > obj.sketch_count());
+    }
+
+    #[test]
+    fn sigma_with_reused_scratch_matches_sigma() {
+        let inst = community_instance(9);
+        let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
+        let obj =
+            SketchObjective::build(&inst, b.nodes.clone(), SketchParams::default(), 2, 31).unwrap();
+        let mut scratch = CoverageScratch::new();
+        for k in 0..b.nodes.len().min(4) {
+            let protectors = &b.nodes[..k];
+            assert_eq!(
+                obj.sigma_with(protectors, &mut scratch).unwrap(),
+                obj.sigma(protectors).unwrap()
+            );
+        }
+    }
+}

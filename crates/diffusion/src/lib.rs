@@ -21,6 +21,10 @@
 //!   submodular function per realization;
 //! - [`monte_carlo`]: a thread-parallel, seed-reproducible
 //!   Monte-Carlo driver over any [`TwoCascadeModel`];
+//! - [`rr_sketch_into`]: reverse-reachable sketch generation under
+//!   the OPOAO timestamp semantics, with [`RrScratch`] /
+//!   [`SketchBatch`] storage (the RIS estimator's sampling
+//!   primitive);
 //! - [`CompetitiveIcModel`] / [`CompetitiveLtModel`]: the competitive
 //!   IC / LT extension models from the paper's related work.
 //!
@@ -63,6 +67,7 @@ mod outcome;
 mod realization;
 mod seeds;
 mod sis;
+mod sketch;
 mod timestamps;
 mod workspace;
 
@@ -77,5 +82,6 @@ pub use outcome::{DiffusionOutcome, HopRecord, Status};
 pub use realization::OpoaoRealization;
 pub use seeds::{SeedError, SeedSets};
 pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};
+pub use sketch::{rr_sketch_into, RrScratch, SketchBatch};
 pub use timestamps::{run_opoao_timestamped, EdgeStamp, TimestampedOutcome};
 pub use workspace::SimWorkspace;

@@ -5,9 +5,10 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use lcrb_diffusion::{
-    doam_analytic, doam_safe_targets, monte_carlo, CompetitiveIcModel, CompetitiveLtModel,
-    CompetitiveSisModel, DoamModel, IcRealization, MonteCarloConfig, OpoaoModel, OpoaoRealization,
-    SeedSets, SimWorkspace, SisState, Status, TwoCascadeModel,
+    doam_analytic, doam_safe_targets, monte_carlo, rr_sketch_into, CompetitiveIcModel,
+    CompetitiveLtModel, CompetitiveSisModel, DoamModel, IcRealization, MonteCarloConfig,
+    OpoaoModel, OpoaoRealization, RrScratch, SeedSets, SimWorkspace, SisState, SketchBatch, Status,
+    TwoCascadeModel,
 };
 use lcrb_graph::{CsrGraph, DiGraph, NodeId};
 
@@ -206,6 +207,191 @@ proptest! {
         let b = model.run(&g, &seeds, &mut r2);
         prop_assert_eq!(a.final_states, b.final_states);
         prop_assert_eq!(a.trace, b.trace);
+    }
+}
+
+/// Strategy: a tiny graph (≤ 8 nodes) plus 1–2 rumor originators —
+/// small enough to brute-force every protector subset.
+fn arb_tiny_instance() -> impl Strategy<Value = (DiGraph, Vec<NodeId>)> {
+    (2usize..9).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n, 0..n), 0..(3 * n)),
+            proptest::collection::btree_set(0..n, 1..3),
+        )
+            .prop_map(move |(pairs, rumors)| {
+                let mut g = DiGraph::with_nodes(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        let _ = g.add_edge(NodeId::new(u), NodeId::new(v));
+                    }
+                }
+                let rumors: Vec<NodeId> = rumors.into_iter().map(NodeId::new).collect();
+                (g, rumors)
+            })
+    })
+}
+
+/// The §V-A timestamp rule's label-free earliest-arrival time from
+/// `sources` to `target`: every arrived node forwards to the single
+/// out-neighbor `realization.choice(node, hop, deg)` picks at each
+/// hop. This is the independent reference the RR sketches must invert.
+fn forward_rule_arrival(
+    csr: &CsrGraph,
+    sources: &[NodeId],
+    target: NodeId,
+    realization: &OpoaoRealization,
+    max_hops: u32,
+) -> Option<u32> {
+    let n = csr.node_count();
+    let mut arrival = vec![u32::MAX; n];
+    for &s in sources {
+        arrival[s.index()] = 0;
+    }
+    if sources.is_empty() {
+        return None;
+    }
+    if arrival[target.index()] == 0 {
+        return Some(0);
+    }
+    for hop in 1..=max_hops {
+        let mut claims = Vec::new();
+        for (v, &t) in arrival.iter().enumerate() {
+            let u = NodeId::new(v);
+            let deg = csr.out_degree(u);
+            if t < hop && deg > 0 {
+                claims.push(csr.out_neighbors(u)[realization.choice(u, hop, deg)]);
+            }
+        }
+        for w in claims {
+            if arrival[w.index()] == u32::MAX {
+                arrival[w.index()] = hop;
+            }
+        }
+        if arrival[target.index()] != u32::MAX {
+            return Some(hop);
+        }
+    }
+    None
+}
+
+/// Hop distance from every node to `target` along graph edges
+/// (backward BFS over in-neighbors), ignoring the realization.
+fn hops_to_target(g: &DiGraph, target: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    dist[target.index()] = Some(0);
+    let mut frontier = vec![target];
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for &w in &frontier {
+            for &u in g.in_neighbors(w) {
+                if dist[u.index()].is_none() {
+                    dist[u.index()] = Some(d);
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+// RR-sketch inversion. On graphs small enough to enumerate every
+// protector subset, membership in the RR set must agree *exactly*
+// with the forward timestamp rule: a set A saves the target on
+// realization φ iff A ∩ RR(target, φ) ≠ ∅ (or the rumor never reaches
+// the target at all, in which case the sketch is counted
+// always-saved and never stored).
+proptest! {
+    #[test]
+    fn rr_sketch_coverage_matches_exhaustive_forward_rule(
+        (g, rumors) in arb_tiny_instance(),
+        rseed in 0u64..64,
+    ) {
+        let csr = CsrGraph::from(&g);
+        let n = g.node_count();
+        let realization = OpoaoRealization::new(rseed);
+        let max_hops = 31;
+        let mut scratch = RrScratch::new();
+        for t in 0..n {
+            let target = NodeId::new(t);
+            let mut batch = SketchBatch::new();
+            let stored = rr_sketch_into(
+                &csr, &rumors, target, &realization, max_hops, &mut scratch, &mut batch,
+            );
+            let t_rumor = forward_rule_arrival(&csr, &rumors, target, &realization, max_hops);
+            prop_assert_eq!(stored, t_rumor.is_some(), "storage vs rumor reachability");
+            if !stored {
+                prop_assert_eq!(batch.always_saved(), 1);
+                prop_assert_eq!(batch.set_count(), 0);
+                continue;
+            }
+            let tau = batch.arrival(0);
+            prop_assert_eq!(Some(tau), t_rumor);
+            let members = batch.members(0);
+            // Exhaustive check over every protector subset of the
+            // non-rumor nodes: 2^(n - |rumors|) ≤ 128 cases.
+            let free: Vec<NodeId> = (0..n)
+                .map(NodeId::new)
+                .filter(|v| !rumors.contains(v))
+                .collect();
+            for mask in 0u32..(1 << free.len()) {
+                let set: Vec<NodeId> = free
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let covered = set.iter().any(|v| members.contains(v));
+                let t_set = forward_rule_arrival(&csr, &set, target, &realization, max_hops);
+                let saved = t_set.is_some_and(|ts| ts <= tau);
+                prop_assert_eq!(
+                    covered, saved,
+                    "subset {:?} target {} tau {}", set, target, tau
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rr_sketch_members_never_escape_the_backward_reachable_set(
+        (g, rumors) in arb_tiny_instance(),
+        rseed in 0u64..64,
+    ) {
+        // Every RR member must sit on some ≤ τ-hop path into the
+        // target — the sketch walk may never wander outside the
+        // target's backward-reachable ball.
+        let csr = CsrGraph::from(&g);
+        let realization = OpoaoRealization::new(rseed);
+        let mut scratch = RrScratch::new();
+        let mut batch = SketchBatch::new();
+        for t in 0..g.node_count() {
+            let target = NodeId::new(t);
+            batch.clear();
+            if !rr_sketch_into(&csr, &rumors, target, &realization, 31, &mut scratch, &mut batch) {
+                continue;
+            }
+            let tau = batch.arrival(0);
+            let dist = hops_to_target(&g, target);
+            let members = batch.members(0);
+            // The target itself arrives at time 0, so it is always a member.
+            prop_assert!(members.contains(&target));
+            for &u in members {
+                let d = dist[u.index()];
+                prop_assert!(
+                    d.is_some_and(|d| d <= tau),
+                    "member {} is {:?} hops from target {} but tau is {}",
+                    u, d, target, tau
+                );
+            }
+            // No duplicates: each member is stamped exactly once.
+            let mut sorted: Vec<u32> = members.iter().map(|v| v.raw()).collect();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(before, sorted.len());
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! The lint rules: scoping, test-code stripping, rule checks, and
 //! `xtask-allow` pragma application.
 //!
-//! Four rule families guard the invariants the paper reproduction
+//! Five rule families guard the invariants the paper reproduction
 //! depends on (see DESIGN.md §"Static analysis layer"):
 //!
 //! - `determinism` — the LCRB-P greedy is only (1 − 1/e)-approximate
@@ -15,6 +15,10 @@
 //! - `hotpath` — the CSR/workspace kernel keeps its speedup only
 //!   while hot modules stay allocation-free and snapshot-based; any
 //!   `DiGraph` reference or container allocation there is flagged.
+//! - `collect` — a `.collect()` inside a loop body in a hot module
+//!   allocates a fresh container per iteration, the steady-state
+//!   allocation the workspace pattern exists to avoid; hoist the
+//!   buffer out of the loop (clear-and-refill) or justify it.
 //! - `attributes` — every crate root carries the standard prelude
 //!   (`forbid(unsafe_code)`, `deny(missing_docs)`,
 //!   `warn(missing_debug_implementations)`).
@@ -24,7 +28,14 @@ use std::collections::BTreeSet;
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
 /// Rule identifiers accepted by `xtask-allow` pragmas.
-pub const KNOWN_RULES: [&str; 5] = ["determinism", "panic", "index", "hotpath", "attributes"];
+pub const KNOWN_RULES: [&str; 6] = [
+    "determinism",
+    "panic",
+    "index",
+    "hotpath",
+    "collect",
+    "attributes",
+];
 
 /// Crates whose result-producing code must not iterate hash
 /// containers (the paper's algorithm layers).
@@ -34,18 +45,20 @@ const DETERMINISM_CRATES: [&str; 4] = ["graph", "community", "diffusion", "core"
 /// the CSR traversal and objective/greedy/SCBG layers ported to the
 /// snapshot API in PR 2. Allocation and legacy `DiGraph` use here is
 /// flagged so the zero-allocation invariant cannot regress unnoticed.
-const HOT_FILES: [&str; 11] = [
+const HOT_FILES: [&str; 13] = [
     "crates/diffusion/src/model.rs",
     "crates/diffusion/src/opoao.rs",
     "crates/diffusion/src/doam.rs",
     "crates/diffusion/src/ic.rs",
     "crates/diffusion/src/lt.rs",
     "crates/diffusion/src/sis.rs",
+    "crates/diffusion/src/sketch.rs",
     "crates/diffusion/src/workspace.rs",
     "crates/graph/src/traversal/csr_bfs.rs",
     "crates/core/src/objective.rs",
     "crates/core/src/greedy.rs",
     "crates/core/src/scbg.rs",
+    "crates/core/src/sketch_objective.rs",
 ];
 
 /// Keywords that may directly precede `[` without forming an index
@@ -180,6 +193,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
     }
     if class.hot {
         check_hotpath(&code, rel_path, &mut raw);
+        check_collect(&code, rel_path, &mut raw);
     }
     if class.attributes_root {
         check_attributes(&lexed.tokens, rel_path, &mut raw);
@@ -450,6 +464,71 @@ fn check_hotpath(code: &[Token], file: &str, out: &mut Vec<Violation>) {
                 rule: "hotpath".to_owned(),
                 message: "legacy `DiGraph` API referenced in a hot module; hot paths are snapshot-based (`CsrGraph`)".to_owned(),
             });
+        }
+    }
+}
+
+/// Flags `.collect(...)` / `collect::<..>()` calls lexically inside a
+/// loop body in a hot module: each iteration allocates a fresh
+/// container, exactly the steady-state allocation the workspace
+/// pattern exists to avoid.
+///
+/// Loop bodies are tracked with a brace stack. `while` and `loop`
+/// open a loop scope at their next `{`; `for` only does once an `in`
+/// has been seen first, so `impl Trait for Type { .. }` is not
+/// mistaken for a loop. A `;` cancels any pending header (e.g. the
+/// `for` inside a `#[derive]`-expanded bound that never opens a
+/// block).
+fn check_collect(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    // For each open `{`, whether it opened a loop body.
+    let mut stack: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    // A loop header was seen; the next `{` opens its body.
+    let mut pending = false;
+    // A `for` was seen; an `in` before the next `{` makes it a loop.
+    let mut for_pending = false;
+    for (i, t) in code.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "for" => for_pending = true,
+                "in" if for_pending => {
+                    for_pending = false;
+                    pending = true;
+                }
+                "while" | "loop" => pending = true,
+                "collect"
+                    if loop_depth > 0
+                        && code
+                            .get(i + 1)
+                            .is_some_and(|p| p.is_punct('(') || p.is_punct(':')) =>
+                {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: t.line,
+                        rule: "collect".to_owned(),
+                        message: "`collect()` inside a loop allocates per iteration in a hot module; hoist a buffer out of the loop (clear-and-refill) or justify with `// xtask-allow: collect -- <why>`".to_owned(),
+                    });
+                }
+                _ => {}
+            },
+            TokKind::Punct => {
+                if t.is_punct('{') {
+                    stack.push(pending);
+                    if pending {
+                        loop_depth += 1;
+                    }
+                    pending = false;
+                    for_pending = false;
+                } else if t.is_punct('}') {
+                    if stack.pop() == Some(true) {
+                        loop_depth -= 1;
+                    }
+                } else if t.is_punct(';') {
+                    pending = false;
+                    for_pending = false;
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -245,6 +245,81 @@ fn f(
     assert_clean(HOT, src);
 }
 
+// -------------------------------------------------------------------- collect
+
+#[test]
+fn collect_flags_per_iteration_allocation_in_loops() {
+    let src = r#"
+fn f(items: &[u32]) -> usize {
+    let mut total = 0;
+    for chunk in items.chunks(4) {
+        let doubled: Vec<u32> = chunk.iter().map(|x| x * 2).collect();
+        total += doubled.len();
+    }
+    while total > 100 {
+        let halves = items.iter().collect::<Vec<_>>();
+        total -= halves.len();
+    }
+    total
+}
+"#;
+    assert_rule(HOT, src, "collect", 2);
+}
+
+#[test]
+fn collect_outside_loops_and_in_cold_modules_passes() {
+    let src = r#"
+fn f(items: &[u32]) -> Vec<u32> {
+    let doubled: Vec<u32> = items.iter().map(|x| x * 2).collect();
+    doubled
+}
+"#;
+    assert_rule(HOT, src, "collect", 0);
+    // The same loop that is flagged in a hot module is fine elsewhere.
+    let loopy = r#"
+fn g(items: &[u32]) -> usize {
+    let mut total = 0;
+    for chunk in items.chunks(4) {
+        let doubled: Vec<u32> = chunk.iter().map(|x| x * 2).collect();
+        total += doubled.len();
+    }
+    total
+}
+"#;
+    assert_rule(COLD, loopy, "collect", 0);
+}
+
+#[test]
+fn collect_is_not_fooled_by_impl_for_blocks() {
+    // `impl Trait for Type { .. }` contains `for` but opens no loop.
+    let src = r#"
+impl Iterator for Stepper {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        let all: Vec<u32> = self.pending.iter().copied().collect();
+        all.first().copied()
+    }
+}
+"#;
+    assert_rule(HOT, src, "collect", 0);
+}
+
+#[test]
+fn collect_allow_marks_justified_loop_allocations() {
+    let src = r#"
+fn f(groups: &[Group]) -> usize {
+    let mut n = 0;
+    for g in groups {
+        // xtask-allow: collect -- one small Vec per community, setup phase only
+        let ids: Vec<u32> = g.members.iter().collect();
+        n += ids.len();
+    }
+    n
+}
+"#;
+    assert_clean(HOT, src);
+}
+
 // ----------------------------------------------------------------- attributes
 
 #[test]

@@ -1,19 +1,38 @@
 //! How much protection does each additional protector buy?
 //!
 //! ```text
-//! cargo run --release --example protection_budget
+//! cargo run --release --example protection_budget [mc|sketch]
 //! ```
 //!
 //! Runs the LCRB-P greedy (Algorithm 1, with CELF) in budget mode and
 //! prints the marginal value of every pick — the diminishing-returns
 //! curve that Theorem 1's submodularity guarantees — then solves the
 //! α-target variants the problem definition asks for.
+//!
+//! The optional argument picks the σ̂ estimator behind the greedy:
+//! `mc` (default) evaluates protector sets on fixed Monte-Carlo
+//! realizations; `sketch` switches to the RR-sketch estimator, which
+//! trades a one-time sampling pass for much cheaper per-set queries.
 
 use lcrb_repro::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = match std::env::args().nth(1).as_deref() {
+        None | Some("mc") => Estimator::MonteCarlo,
+        Some("sketch") => Estimator::Sketch(SketchParams::default()),
+        Some(other) => {
+            return Err(format!("unknown estimator {other:?} (expected mc or sketch)").into())
+        }
+    };
+    println!(
+        "estimator: {}",
+        match estimator {
+            Estimator::MonteCarlo => "monte carlo",
+            Estimator::Sketch(_) => "rr sketch",
+        }
+    );
     let ds = hep_like(&DatasetConfig::new(0.08, 5));
     println!("network: {}", ds.summary());
     let mut rng = SmallRng::seed_from_u64(21);
@@ -29,6 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         realizations: 32,
         candidates: CandidatePool::BackwardRadius(2),
         master_seed: 9,
+        estimator,
         ..GreedyConfig::default()
     };
 

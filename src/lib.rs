@@ -9,7 +9,7 @@
 //! - [`community`] — Louvain / label propagation / modularity /
 //!   partition metrics;
 //! - [`diffusion`] — the OPOAO and DOAM two-cascade models, coupled
-//!   realizations, Monte Carlo, competitive IC/LT;
+//!   realizations, Monte Carlo, RR sketches, competitive IC/LT;
 //! - [`lcrb`] — the paper's algorithms: bridge ends, the LCRB-P
 //!   greedy, SCBG, heuristics, and the evaluation harness;
 //! - [`datasets`] — calibrated synthetic stand-ins for the Enron and
@@ -69,9 +69,10 @@ pub use lcrb;
 pub mod prelude {
     pub use lcrb::{
         find_bridge_ends, greedy_lcrb_p, greedy_viral_stopper, greedy_with_budget, scbg,
-        scbg_weighted, BridgeEndRule, CandidatePool, GreedyConfig, GvsConfig, LcrbError,
+        scbg_weighted, BridgeEndRule, CandidatePool, Estimator, GreedyConfig, GvsConfig, LcrbError,
         MaxDegreeSelector, NoBlockingSelector, ObjectiveModel, PageRankSelector, ProtectorSelector,
-        ProximitySelector, RandomSelector, RumorBlockingInstance, ScbgConfig,
+        ProximitySelector, RandomSelector, RumorBlockingInstance, ScbgConfig, SketchObjective,
+        SketchParams,
     };
     pub use lcrb_community::{louvain, LouvainConfig, Partition};
     pub use lcrb_datasets::{enron_like, hep_like, DatasetConfig};
