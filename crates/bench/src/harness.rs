@@ -9,9 +9,9 @@ use rand::SeedableRng;
 
 use lcrb::evaluate::{evaluate_protector_sets, HopSeriesReport};
 use lcrb::{
-    greedy_with_budget, protectors_to_cover_all, scbg, BridgeEndRule, CandidatePool, Estimator,
-    GreedyConfig, MaxDegreeSelector, ProtectorSelector, ProximitySelector, RumorBlockingInstance,
-    ScbgConfig,
+    protectors_to_cover_all, scbg, Algorithm, BridgeEndRule, CandidatePool, Estimator,
+    MaxDegreeSelector, ProximitySelector, RumorBlockingInstance, ScbgConfig, SolveDetail,
+    SolveRequest, Solver, SolverConfig,
 };
 use lcrb_datasets::{
     enron_like, enron_like_heterogeneous, hep_like, hep_like_heterogeneous, DatasetConfig,
@@ -241,30 +241,39 @@ pub fn run_opoao_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult 
     for (i, &fraction) in spec.dataset.paper_fractions().iter().enumerate() {
         let inst = instance_for(&ds, community, fraction, cfg.seed ^ (i as u64) << 8);
         let budget = inst.rumor_seeds().len();
-        let greedy_cfg = GreedyConfig {
-            realizations: cfg.realizations,
-            master_seed: cfg.seed,
-            candidates: cfg.greedy_pool,
-            estimator: cfg.estimator,
-            ..GreedyConfig::default()
-        };
-        let greedy = greedy_with_budget(&inst, budget, &greedy_cfg)
+        // One solver session per drawn instance: the greedy and the
+        // baselines share its cached bridge ends and orderings.
+        let mut solver = Solver::with_config(
+            inst,
+            SolverConfig {
+                master_seed: cfg.seed,
+            },
+        );
+        let greedy_report = solver
+            .solve(&SolveRequest {
+                realizations: cfg.realizations,
+                candidates: cfg.greedy_pool,
+                estimator: cfg.estimator,
+                ..SolveRequest::greedy_budget(budget)
+            })
             .expect("budget-mode greedy cannot fail on a valid instance");
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xF1F1);
-        let sets = vec![
-            ("greedy".to_owned(), greedy.protectors.clone()),
-            (
-                "proximity".to_owned(),
-                ProximitySelector.select(&inst, budget, &mut rng),
-            ),
-            (
-                "max-degree".to_owned(),
-                MaxDegreeSelector.select(&inst, budget, &mut rng),
-            ),
-            ("no-blocking".to_owned(), Vec::new()),
-        ];
+        let SolveDetail::Greedy(greedy) = &greedy_report.detail else {
+            unreachable!("a greedy request carries a greedy detail")
+        };
+        let bridge_ends = greedy.bridge_ends.len();
+        let mut sets = vec![("greedy".to_owned(), greedy_report.protectors.clone())];
+        for algorithm in [
+            Algorithm::Proximity,
+            Algorithm::MaxDegree,
+            Algorithm::NoBlocking,
+        ] {
+            let run = solver
+                .solve(&SolveRequest::heuristic(algorithm, budget))
+                .expect("budgeted heuristics cannot fail on a valid instance");
+            sets.push((run.algorithm, run.protectors));
+        }
         let report = evaluate_protector_sets(
-            &inst,
+            solver.instance(),
             &OpoaoModel::default(),
             &sets,
             &MonteCarloConfig {
@@ -278,7 +287,7 @@ pub fn run_opoao_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult 
             fraction,
             rumor_count: budget,
             budget,
-            bridge_ends: greedy.bridge_ends.len(),
+            bridge_ends,
             report,
         });
     }
@@ -303,23 +312,34 @@ pub fn run_doam_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult {
     let mut subs = Vec::new();
     for (i, &fraction) in spec.dataset.paper_fractions().iter().enumerate() {
         let inst = instance_for(&ds, community, fraction, cfg.seed ^ (i as u64) << 8);
-        let sol = scbg(&inst, &ScbgConfig::default());
-        let budget = sol.protectors.len();
-        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD0D0);
-        let sets = vec![
-            ("scbg".to_owned(), sol.protectors.clone()),
-            (
-                "proximity".to_owned(),
-                ProximitySelector.select(&inst, budget, &mut rng),
-            ),
-            (
-                "max-degree".to_owned(),
-                MaxDegreeSelector.select(&inst, budget, &mut rng),
-            ),
-            ("no-blocking".to_owned(), Vec::new()),
-        ];
+        let rumor_count = inst.rumor_seeds().len();
+        let mut solver = Solver::with_config(
+            inst,
+            SolverConfig {
+                master_seed: cfg.seed,
+            },
+        );
+        let scbg_report = solver
+            .solve(&SolveRequest::scbg())
+            .expect("SCBG requests cannot fail on a valid instance");
+        let SolveDetail::Scbg(sol) = &scbg_report.detail else {
+            unreachable!("an SCBG request carries an SCBG detail")
+        };
+        let budget = scbg_report.protectors.len();
+        let bridge_ends = sol.bridge_ends.len();
+        let mut sets = vec![("scbg".to_owned(), scbg_report.protectors.clone())];
+        for algorithm in [
+            Algorithm::Proximity,
+            Algorithm::MaxDegree,
+            Algorithm::NoBlocking,
+        ] {
+            let run = solver
+                .solve(&SolveRequest::heuristic(algorithm, budget))
+                .expect("budgeted heuristics cannot fail on a valid instance");
+            sets.push((run.algorithm, run.protectors));
+        }
         let report = evaluate_protector_sets(
-            &inst,
+            solver.instance(),
             &DoamModel::default(),
             &sets,
             &MonteCarloConfig {
@@ -331,9 +351,9 @@ pub fn run_doam_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult {
         .expect("selector outputs are valid protector sets");
         subs.push(SubExperiment {
             fraction,
-            rumor_count: inst.rumor_seeds().len(),
+            rumor_count,
             budget,
-            bridge_ends: sol.bridge_ends.len(),
+            bridge_ends,
             report,
         });
     }

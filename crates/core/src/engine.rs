@@ -1,0 +1,1747 @@
+//! Solver sessions: one engine in front of every selection
+//! algorithm, with epoch-keyed artifact caching.
+//!
+//! The free functions ([`crate::greedy_lcrb_p`], [`crate::scbg`], the
+//! heuristic selectors) rebuild every expensive artifact per call:
+//! the bridge-end set, the RR-sketch sample, the CELF priority state,
+//! degree/PageRank orderings. A [`Solver`] owns the
+//! [`RumorBlockingInstance`] plus an [`ArtifactCache`] and reuses
+//! those artifacts across queries, so a budget sweep or an α sweep
+//! pays the construction cost once.
+//!
+//! Reuse is sound because each artifact depends only on what its
+//! cache key names — never on the stopping rule:
+//!
+//! - the bridge-end set depends only on the instance and the
+//!   [`BridgeEndRule`];
+//! - a [`SketchIndex`] depends on the instance, the bridge ends, the
+//!   `(ε, δ)` schedule, the master seed, and the hop budget — not on
+//!   any budget or α;
+//! - a CELF trajectory is *prefix-consistent*: the stopping rule only
+//!   decides where the pick sequence stops, never which node is
+//!   picked next (see [`crate::greedy`]'s trajectory invariant), so a
+//!   smaller budget reads a prefix and a larger one resumes the
+//!   stored heap, bitwise identical to a cold run.
+//!
+//! Every cache entry is stamped with the solver's **epoch**; mutating
+//! the instance ([`Solver::set_rumor_seeds`]) or calling
+//! [`Solver::invalidate`] bumps the epoch, so stale artifacts can
+//! never serve a changed problem.
+//!
+//! # Examples
+//!
+//! ```
+//! use lcrb::engine::{Solver, SolveRequest};
+//! use lcrb::RumorBlockingInstance;
+//! use lcrb_community::Partition;
+//! use lcrb_graph::{DiGraph, NodeId};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+//! let p = Partition::from_labels(vec![0, 0, 1, 1]);
+//! let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+//! let mut solver = Solver::new(inst);
+//! let report = solver.solve(&SolveRequest::greedy_budget(1))?;
+//! assert_eq!(report.protectors.len(), 1);
+//! // A second solve at a different budget reuses the cached
+//! // artifacts (bridge ends + CELF trajectory).
+//! let warm = solver.solve(&SolveRequest::greedy_budget(2))?;
+//! assert!(warm.cache_hits() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use lcrb_diffusion::{MonteCarloConfig, ScratchPool, TwoCascadeModel};
+use lcrb_graph::NodeId;
+
+use crate::evaluate::{evaluate_protector_sets, HopSeriesReport};
+use crate::greedy::{
+    advance_trajectory, candidate_pool_for, normalized_model, selection_from_trajectory,
+    GreedyTrajectory, SigmaBackend, SigmaScratch,
+};
+use crate::sketch_objective::mix;
+use crate::{
+    find_bridge_ends, greedy_viral_stopper, scbg, BridgeEndRule, BridgeEnds, CandidatePool,
+    Estimator, GreedyConfig, GreedySelection, GvsConfig, GvsSelection, LcrbError,
+    MaxDegreeSelector, ObjectiveModel, PageRankSelector, ProtectionObjective, ProtectorSelector,
+    ProximitySelector, RumorBlockingInstance, ScbgConfig, ScbgSolution, SketchIndex,
+    SketchObjective,
+};
+
+/// Which selection algorithm a [`SolveRequest`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// Algorithm 1 (CELF greedy) for LCRB-P — the only algorithm that
+    /// honors [`StopRule::Alpha`].
+    Greedy,
+    /// Set Cover Based Greedy (Algorithm 3) for LCRB-D; ignores the
+    /// stopping rule (it always covers every bridge end it can).
+    Scbg,
+    /// The Greedy Viral Stopper related-work baseline.
+    Gvs,
+    /// Highest out-degree first.
+    MaxDegree,
+    /// Random direct out-neighbors of the rumor originators.
+    Proximity,
+    /// Uniformly random non-rumor nodes.
+    Random,
+    /// Highest PageRank first.
+    PageRank,
+    /// No protectors — the reference line.
+    NoBlocking,
+}
+
+impl Algorithm {
+    /// The canonical display name (matches the paper-figure labels
+    /// and the legacy [`ProtectorSelector::name`] strings).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Greedy => "greedy",
+            Algorithm::Scbg => "scbg",
+            Algorithm::Gvs => "gvs",
+            Algorithm::MaxDegree => "max-degree",
+            Algorithm::Proximity => "proximity",
+            Algorithm::Random => "random",
+            Algorithm::PageRank => "pagerank",
+            Algorithm::NoBlocking => "no-blocking",
+        }
+    }
+}
+
+/// When a solve stops adding protectors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StopRule {
+    /// Select at most this many protectors.
+    Budget(usize),
+    /// Select until `σ̂ ≥ α·|B|` (greedy only; `α ∈ (0, 1]`).
+    Alpha(f64),
+}
+
+/// One query against a [`Solver`]: which algorithm, when to stop, and
+/// every knob the algorithms share. Construct via the named builders
+/// ([`SolveRequest::greedy_budget`], [`SolveRequest::greedy_alpha`],
+/// [`SolveRequest::scbg`], [`SolveRequest::gvs`],
+/// [`SolveRequest::heuristic`]) and adjust fields with struct-update
+/// syntax.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// The selection algorithm to run.
+    pub algorithm: Algorithm,
+    /// The stopping rule ([`StopRule::Alpha`] is greedy-only).
+    pub stop: StopRule,
+    /// σ̂ estimator for the greedy (Monte Carlo or RR sketches).
+    pub estimator: Estimator,
+    /// Bridge-end detection rule.
+    pub rule: BridgeEndRule,
+    /// Diffusion model the greedy/GVS objective estimates under.
+    pub model: ObjectiveModel,
+    /// Realizations for the Monte-Carlo greedy estimator.
+    pub realizations: usize,
+    /// Hop budget applied to the OPOAO objective model.
+    pub max_hops: u32,
+    /// Candidate pool for greedy and GVS.
+    pub candidates: CandidatePool,
+    /// CELF lazy evaluation (greedy only).
+    pub lazy: bool,
+    /// Worker threads for the greedy's initial gain sweep.
+    pub threads: usize,
+    /// Hard protector cap for α-mode greedy solves.
+    pub max_protectors: usize,
+    /// Monte-Carlo runs per GVS candidate evaluation.
+    pub mc_runs: usize,
+    /// Damping factor for [`Algorithm::PageRank`], in `[0, 1)`.
+    pub pagerank_damping: f64,
+    /// BBST depth cap for [`Algorithm::Scbg`].
+    pub max_bbst_depth: Option<u32>,
+}
+
+impl SolveRequest {
+    fn base(algorithm: Algorithm, stop: StopRule) -> Self {
+        let defaults = GreedyConfig::default();
+        SolveRequest {
+            algorithm,
+            stop,
+            estimator: defaults.estimator,
+            rule: defaults.rule,
+            model: defaults.model,
+            realizations: defaults.realizations,
+            max_hops: defaults.max_hops,
+            candidates: defaults.candidates,
+            lazy: defaults.lazy,
+            threads: defaults.threads,
+            max_protectors: defaults.max_protectors,
+            mc_runs: 16,
+            pagerank_damping: 0.85,
+            max_bbst_depth: None,
+        }
+    }
+
+    /// Budget-mode greedy: select exactly `budget` protectors (fewer
+    /// only if gains hit zero).
+    #[must_use]
+    pub fn greedy_budget(budget: usize) -> Self {
+        SolveRequest::base(Algorithm::Greedy, StopRule::Budget(budget))
+    }
+
+    /// α-mode greedy: select until `σ̂ ≥ α·|B|`.
+    #[must_use]
+    pub fn greedy_alpha(alpha: f64) -> Self {
+        SolveRequest::base(Algorithm::Greedy, StopRule::Alpha(alpha))
+    }
+
+    /// Set Cover Based Greedy for LCRB-D (the stopping rule is
+    /// ignored; SCBG always covers everything it can).
+    #[must_use]
+    pub fn scbg() -> Self {
+        SolveRequest::base(Algorithm::Scbg, StopRule::Budget(usize::MAX))
+    }
+
+    /// The GVS related-work baseline at a fixed budget.
+    #[must_use]
+    pub fn gvs(budget: usize) -> Self {
+        SolveRequest::base(Algorithm::Gvs, StopRule::Budget(budget))
+    }
+
+    /// A budgeted heuristic baseline ([`Algorithm::MaxDegree`],
+    /// [`Algorithm::Proximity`], [`Algorithm::Random`],
+    /// [`Algorithm::PageRank`], or [`Algorithm::NoBlocking`]).
+    #[must_use]
+    pub fn heuristic(algorithm: Algorithm, budget: usize) -> Self {
+        SolveRequest::base(algorithm, StopRule::Budget(budget))
+    }
+
+    /// Replaces the σ̂ estimator (builder style).
+    #[must_use]
+    pub fn with_estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Replaces the stopping rule (builder style).
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopRule) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// The equivalent legacy [`GreedyConfig`] (α is a placeholder in
+    /// budget mode; the engine passes the target separately).
+    fn greedy_config(&self, master_seed: u64) -> GreedyConfig {
+        GreedyConfig {
+            alpha: match self.stop {
+                StopRule::Alpha(a) => a,
+                StopRule::Budget(_) => 1.0,
+            },
+            realizations: self.realizations,
+            master_seed,
+            max_hops: self.max_hops,
+            model: self.model,
+            max_protectors: self.max_protectors,
+            candidates: self.candidates,
+            lazy: self.lazy,
+            rule: self.rule,
+            threads: self.threads,
+            estimator: self.estimator,
+        }
+    }
+}
+
+/// Hit/miss counters for one artifact kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache at the current epoch.
+    pub hits: u64,
+    /// Lookups that had to (re)build the artifact.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    fn delta_since(self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// Per-artifact-kind cache counters; cumulative on
+/// [`Solver::cache_stats`], per-solve deltas on
+/// [`SolveReport::cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bridge-end set lookups.
+    pub bridge: CacheCounters,
+    /// RR-sketch index lookups.
+    pub sketch: CacheCounters,
+    /// CELF trajectory lookups.
+    pub celf: CacheCounters,
+    /// SCBG solution lookups.
+    pub scbg: CacheCounters,
+    /// Heuristic ordering/pool lookups (degree, PageRank, proximity).
+    pub ordering: CacheCounters,
+    /// GVS selection lookups.
+    pub gvs: CacheCounters,
+}
+
+impl CacheStats {
+    /// Total hits across every artifact kind.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.bridge.hits
+            + self.sketch.hits
+            + self.celf.hits
+            + self.scbg.hits
+            + self.ordering.hits
+            + self.gvs.hits
+    }
+
+    /// Total misses across every artifact kind.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.bridge.misses
+            + self.sketch.misses
+            + self.celf.misses
+            + self.scbg.misses
+            + self.ordering.misses
+            + self.gvs.misses
+    }
+
+    /// The counter increments between `earlier` and `self` (both
+    /// snapshots of the same solver's cumulative stats).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            bridge: self.bridge.delta_since(earlier.bridge),
+            sketch: self.sketch.delta_since(earlier.sketch),
+            celf: self.celf.delta_since(earlier.celf),
+            scbg: self.scbg.delta_since(earlier.scbg),
+            ordering: self.ordering.delta_since(earlier.ordering),
+            gvs: self.gvs.delta_since(earlier.gvs),
+        }
+    }
+}
+
+/// Wall-clock duration of one named stage of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (`"bridge"`, `"estimator"`, `"select"`, ...).
+    pub stage: &'static str,
+    /// Elapsed nanoseconds.
+    pub nanos: u128,
+}
+
+/// Algorithm-specific detail attached to a [`SolveReport`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum SolveDetail {
+    /// The full greedy selection (σ̂ history, target, evaluations).
+    Greedy(GreedySelection),
+    /// The full SCBG solution (coverage accounting).
+    Scbg(ScbgSolution),
+    /// The full GVS selection (infected-count history).
+    Gvs(GvsSelection),
+    /// Heuristic baselines carry no extra detail.
+    Heuristic,
+}
+
+/// The outcome of one [`Solver::solve`]: the selection plus
+/// observability metadata (per-stage timings, cache hit/miss deltas).
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Canonical algorithm name ([`Algorithm::name`]).
+    pub algorithm: String,
+    /// Selected protector originators, in selection order.
+    pub protectors: Vec<NodeId>,
+    /// The solver epoch this solve ran at.
+    pub epoch: u64,
+    /// Per-stage wall-clock timings, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Cache hit/miss counters for this solve only.
+    pub cache: CacheStats,
+    /// Algorithm-specific detail.
+    pub detail: SolveDetail,
+}
+
+impl SolveReport {
+    /// Cache hits charged to this solve.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Cache misses charged to this solve.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Nanoseconds spent in `stage`, if it ran.
+    #[must_use]
+    pub fn stage_nanos(&self, stage: &str) -> Option<u128> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .map(|s| s.nanos)
+    }
+
+    /// Total nanoseconds across all recorded stages.
+    #[must_use]
+    pub fn total_nanos(&self) -> u128 {
+        self.stages.iter().map(|s| s.nanos).sum()
+    }
+}
+
+/// Construction options for a [`Solver`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Master seed every derived randomness stream mixes from
+    /// (realization batches, sketch sampling, heuristic shuffles).
+    pub master_seed: u64,
+}
+
+/// A unified selection strategy a [`Solver`] can run — implemented by
+/// [`SolveRequest`] (the native path) and by [`Budgeted`] (the
+/// adapter over legacy [`ProtectorSelector`]s).
+pub trait Selector {
+    /// Display name for reports and figures.
+    fn name(&self) -> String;
+    /// Runs the strategy against the solver (using its cache and
+    /// derived randomness streams).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LcrbError`] from the underlying algorithm.
+    fn select(&self, solver: &mut Solver) -> Result<SolveReport, LcrbError>;
+}
+
+impl Selector for SolveRequest {
+    fn name(&self) -> String {
+        self.algorithm.name().to_owned()
+    }
+
+    fn select(&self, solver: &mut Solver) -> Result<SolveReport, LcrbError> {
+        solver.solve(self)
+    }
+}
+
+/// Adapter running a legacy [`ProtectorSelector`] at a fixed budget
+/// through the [`Selector`] interface (randomness comes from the
+/// solver's derived stream for the selector's name and budget).
+#[derive(Clone, Copy)]
+pub struct Budgeted<'a> {
+    /// The legacy selector to run.
+    pub selector: &'a dyn ProtectorSelector,
+    /// How many protectors it may pick.
+    pub budget: usize,
+}
+
+impl std::fmt::Debug for Budgeted<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budgeted")
+            .field("selector", &self.selector.name())
+            .field("budget", &self.budget)
+            .finish()
+    }
+}
+
+impl Selector for Budgeted<'_> {
+    fn name(&self) -> String {
+        self.selector.name().to_owned()
+    }
+
+    fn select(&self, solver: &mut Solver) -> Result<SolveReport, LcrbError> {
+        let before = solver.cache.stats;
+        let mut clock = StageClock::start();
+        let mut rng = solver.named_rng(self.selector.name(), self.budget);
+        let protectors = self
+            .selector
+            .select(&solver.instance, self.budget, &mut rng);
+        clock.lap("select");
+        Ok(SolveReport {
+            algorithm: self.selector.name().to_owned(),
+            protectors,
+            epoch: solver.epoch,
+            stages: clock.stages,
+            cache: solver.cache.stats.delta_since(&before),
+            detail: SolveDetail::Heuristic,
+        })
+    }
+}
+
+/// A clock read for stage timings. Observability metadata only: the
+/// solver's *selections* never read the clock, so determinism of the
+/// outputs is preserved.
+#[allow(clippy::disallowed_methods)]
+fn now() -> std::time::Instant {
+    // xtask-allow: determinism -- stage timings are observability metadata; selections never read the clock
+    std::time::Instant::now()
+}
+
+struct StageClock {
+    last: std::time::Instant,
+    stages: Vec<StageTiming>,
+}
+
+impl StageClock {
+    fn start() -> Self {
+        StageClock {
+            last: now(),
+            stages: Vec::new(),
+        }
+    }
+
+    fn lap(&mut self, stage: &'static str) {
+        let t = now();
+        self.stages.push(StageTiming {
+            stage,
+            nanos: t.duration_since(self.last).as_nanos(),
+        });
+        self.last = t;
+    }
+}
+
+/// A cache entry stamped with the solver epoch it was built at; an
+/// epoch mismatch is a miss (lazy eviction).
+#[derive(Clone, Debug)]
+struct Keyed<T> {
+    epoch: u64,
+    value: T,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ModelKey {
+    tag: u8,
+    probability_bits: u64,
+    max_hops: u32,
+}
+
+fn model_key(model: &ObjectiveModel) -> ModelKey {
+    match model {
+        ObjectiveModel::Opoao(m) => ModelKey {
+            tag: 0,
+            probability_bits: 0,
+            max_hops: m.max_hops,
+        },
+        ObjectiveModel::CompetitiveIc(m) => ModelKey {
+            tag: 1,
+            probability_bits: m.probability().to_bits(),
+            max_hops: m.max_hops,
+        },
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EstimatorKey {
+    tag: u8,
+    realizations: usize,
+    epsilon_bits: u64,
+    delta_bits: u64,
+    min_sketches: usize,
+    max_sketches: usize,
+}
+
+fn estimator_key(estimator: &Estimator, realizations: usize) -> EstimatorKey {
+    match estimator {
+        Estimator::MonteCarlo => EstimatorKey {
+            tag: 0,
+            realizations,
+            epsilon_bits: 0,
+            delta_bits: 0,
+            min_sketches: 0,
+            max_sketches: 0,
+        },
+        Estimator::Sketch(p) => EstimatorKey {
+            tag: 1,
+            realizations: 0,
+            epsilon_bits: p.epsilon.to_bits(),
+            delta_bits: p.delta.to_bits(),
+            min_sketches: p.min_sketches,
+            max_sketches: p.max_sketches,
+        },
+    }
+}
+
+fn rule_tag(rule: BridgeEndRule) -> u8 {
+    match rule {
+        BridgeEndRule::WithinCommunity => 0,
+        BridgeEndRule::AnyPath => 1,
+    }
+}
+
+fn candidates_key(pool: CandidatePool) -> (u8, u32) {
+    match pool {
+        CandidatePool::AllNonRumor => (0, 0),
+        CandidatePool::BackwardRadius(r) => (1, r),
+        CandidatePool::BbstUnion => (2, 0),
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct SketchKey {
+    rule: u8,
+    max_hops: u32,
+    epsilon_bits: u64,
+    delta_bits: u64,
+    min_sketches: usize,
+    max_sketches: usize,
+}
+
+/// A CELF trajectory is keyed by everything the pick sequence depends
+/// on — estimator, model, candidate pool, rule, laziness — and by
+/// nothing it does not (the stopping rule and thread count never
+/// change which node is picked next).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CelfKey {
+    rule: u8,
+    estimator: EstimatorKey,
+    model: ModelKey,
+    candidates: (u8, u32),
+    lazy: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct ScbgKey {
+    rule: u8,
+    depth: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct OrderingKey {
+    tag: u8,
+    damping_bits: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct GvsKey {
+    rule: u8,
+    candidates: (u8, u32),
+    model: ModelKey,
+    mc_runs: usize,
+    budget: usize,
+}
+
+fn cache_get_or_insert<K: Ord, V: Clone, E>(
+    map: &mut BTreeMap<K, Keyed<V>>,
+    counters: &mut CacheCounters,
+    epoch: u64,
+    key: K,
+    build: impl FnOnce() -> Result<V, E>,
+) -> Result<V, E> {
+    if let Some(entry) = map.get(&key) {
+        if entry.epoch == epoch {
+            counters.hits += 1;
+            return Ok(entry.value.clone());
+        }
+    }
+    counters.misses += 1;
+    let value = build()?;
+    map.insert(
+        key,
+        Keyed {
+            epoch,
+            value: value.clone(),
+        },
+    );
+    Ok(value)
+}
+
+/// The solver's epoch-keyed artifact store. Private to the engine;
+/// inspect it through [`Solver::cache_stats`] and
+/// [`SolveReport::cache`].
+#[derive(Debug, Default)]
+struct ArtifactCache {
+    bridge: BTreeMap<u8, Keyed<Arc<BridgeEnds>>>,
+    sketch: BTreeMap<SketchKey, Keyed<Arc<SketchIndex>>>,
+    celf: BTreeMap<CelfKey, Keyed<GreedyTrajectory>>,
+    scbg: BTreeMap<ScbgKey, Keyed<ScbgSolution>>,
+    ordering: BTreeMap<OrderingKey, Keyed<Arc<Vec<NodeId>>>>,
+    gvs: BTreeMap<GvsKey, Keyed<GvsSelection>>,
+    stats: CacheStats,
+}
+
+impl ArtifactCache {
+    fn clear(&mut self) {
+        self.bridge.clear();
+        self.sketch.clear();
+        self.celf.clear();
+        self.scbg.clear();
+        self.ordering.clear();
+        self.gvs.clear();
+    }
+
+    fn bridge(
+        &mut self,
+        rule: BridgeEndRule,
+        epoch: u64,
+        build: impl FnOnce() -> Arc<BridgeEnds>,
+    ) -> Arc<BridgeEnds> {
+        match cache_get_or_insert(
+            &mut self.bridge,
+            &mut self.stats.bridge,
+            epoch,
+            rule_tag(rule),
+            || Ok::<_, std::convert::Infallible>(build()),
+        ) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    fn sketch(
+        &mut self,
+        key: SketchKey,
+        epoch: u64,
+        build: impl FnOnce() -> Result<Arc<SketchIndex>, LcrbError>,
+    ) -> Result<Arc<SketchIndex>, LcrbError> {
+        cache_get_or_insert(&mut self.sketch, &mut self.stats.sketch, epoch, key, build)
+    }
+
+    /// CELF trajectories are taken by value (no clone of the heap)
+    /// and stored back after the extension; an epoch-stale entry is
+    /// evicted and counted as a miss.
+    fn take_celf(&mut self, key: &CelfKey, epoch: u64) -> Option<GreedyTrajectory> {
+        match self.celf.remove(key) {
+            Some(entry) if entry.epoch == epoch => {
+                self.stats.celf.hits += 1;
+                Some(entry.value)
+            }
+            _ => {
+                self.stats.celf.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn store_celf(&mut self, key: CelfKey, epoch: u64, value: GreedyTrajectory) {
+        self.celf.insert(key, Keyed { epoch, value });
+    }
+
+    fn scbg(
+        &mut self,
+        key: ScbgKey,
+        epoch: u64,
+        build: impl FnOnce() -> ScbgSolution,
+    ) -> ScbgSolution {
+        match cache_get_or_insert(&mut self.scbg, &mut self.stats.scbg, epoch, key, || {
+            Ok::<_, std::convert::Infallible>(build())
+        }) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    fn ordering(
+        &mut self,
+        key: OrderingKey,
+        epoch: u64,
+        build: impl FnOnce() -> Vec<NodeId>,
+    ) -> Arc<Vec<NodeId>> {
+        match cache_get_or_insert(
+            &mut self.ordering,
+            &mut self.stats.ordering,
+            epoch,
+            key,
+            || Ok::<_, std::convert::Infallible>(Arc::new(build())),
+        ) {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
+    fn gvs(
+        &mut self,
+        key: GvsKey,
+        epoch: u64,
+        build: impl FnOnce() -> Result<GvsSelection, LcrbError>,
+    ) -> Result<GvsSelection, LcrbError> {
+        cache_get_or_insert(&mut self.gvs, &mut self.stats.gvs, epoch, key, build)
+    }
+}
+
+/// A solver session: owns the instance, a deterministic derived-seed
+/// policy, and the [`ArtifactCache`]; answers [`SolveRequest`]s.
+///
+/// See the [module docs](self) for the caching model and the
+/// soundness argument.
+#[derive(Debug)]
+pub struct Solver {
+    instance: RumorBlockingInstance,
+    master_seed: u64,
+    epoch: u64,
+    cache: ArtifactCache,
+    scratch: ScratchPool<SigmaScratch>,
+}
+
+impl Solver {
+    /// Creates a session with the default configuration
+    /// (`master_seed = 0`).
+    #[must_use]
+    pub fn new(instance: RumorBlockingInstance) -> Self {
+        Solver::with_config(instance, SolverConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration.
+    #[must_use]
+    pub fn with_config(instance: RumorBlockingInstance, config: SolverConfig) -> Self {
+        Solver {
+            instance,
+            master_seed: config.master_seed,
+            epoch: 0,
+            cache: ArtifactCache::default(),
+            scratch: ScratchPool::new(),
+        }
+    }
+
+    /// The problem instance this session solves.
+    #[must_use]
+    pub fn instance(&self) -> &RumorBlockingInstance {
+        &self.instance
+    }
+
+    /// The master seed derived randomness streams mix from.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The current cache epoch (bumped by every invalidation).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative cache hit/miss counters over the session's life.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Drops every cached artifact and bumps the epoch. Called
+    /// automatically when the instance changes
+    /// ([`Solver::set_rumor_seeds`]); call it manually only to
+    /// reclaim memory or to force cold re-solves.
+    pub fn invalidate(&mut self) {
+        self.epoch += 1;
+        self.cache.clear();
+        // Pooled scratches cache seed pairs built from the old rumor
+        // set; they must not survive an instance change.
+        self.scratch.clear();
+    }
+
+    /// Replaces the rumor originators (revalidating them against the
+    /// rumor community) and invalidates every cached artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RumorBlockingInstance::with_rumor_seeds`] errors;
+    /// on error the session is unchanged.
+    pub fn set_rumor_seeds(&mut self, rumor_seeds: Vec<NodeId>) -> Result<(), LcrbError> {
+        self.instance = self.instance.with_rumor_seeds(rumor_seeds)?;
+        self.invalidate();
+        Ok(())
+    }
+
+    /// A deterministic RNG stream derived from the master seed, the
+    /// stream name, and the budget — so identical requests draw
+    /// identical randomness regardless of solve order.
+    #[must_use]
+    pub fn named_rng(&self, name: &str, budget: usize) -> SmallRng {
+        let mut s = mix(self.master_seed, 0x6c63_7262); // "lcrb"
+        for &b in name.as_bytes() {
+            s = mix(s, u64::from(b));
+        }
+        SmallRng::seed_from_u64(mix(s, budget as u64))
+    }
+
+    /// Runs one [`Selector`] (a [`SolveRequest`] or a [`Budgeted`]
+    /// legacy adapter) against this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LcrbError`] from the strategy.
+    pub fn run(&mut self, selector: &dyn Selector) -> Result<SolveReport, LcrbError> {
+        selector.select(self)
+    }
+
+    /// Answers one [`SolveRequest`], reusing every cached artifact
+    /// the request's key matches.
+    ///
+    /// # Errors
+    ///
+    /// - [`LcrbError::InvalidAlpha`] for an out-of-range
+    ///   [`StopRule::Alpha`];
+    /// - [`LcrbError::UnsupportedRequest`] for combinations no
+    ///   algorithm implements (α stop on a baseline, PageRank damping
+    ///   outside `[0, 1)`);
+    /// - plus whatever the underlying algorithm returns
+    ///   ([`LcrbError::NoRealizations`],
+    ///   [`LcrbError::InvalidSketchParams`],
+    ///   [`LcrbError::SketchModelUnsupported`], ...).
+    pub fn solve(&mut self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        match request.algorithm {
+            Algorithm::Greedy => self.solve_greedy(request),
+            Algorithm::Scbg => self.solve_scbg(request),
+            Algorithm::Gvs => self.solve_gvs(request),
+            Algorithm::MaxDegree
+            | Algorithm::Proximity
+            | Algorithm::Random
+            | Algorithm::PageRank
+            | Algorithm::NoBlocking => self.solve_heuristic(request),
+        }
+    }
+
+    /// Runs several selectors and Monte-Carlo evaluates their
+    /// selections under `model` — the engine-native form of
+    /// [`crate::evaluate::compare_selectors`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`LcrbError`] from a selector or the
+    /// evaluation.
+    pub fn compare<M>(
+        &mut self,
+        model: &M,
+        selectors: &[&dyn Selector],
+        mc: &MonteCarloConfig,
+    ) -> Result<HopSeriesReport, LcrbError>
+    where
+        M: TwoCascadeModel + Sync,
+    {
+        let mut sets = Vec::with_capacity(selectors.len());
+        for s in selectors {
+            let report = s.select(self)?;
+            sets.push((report.algorithm, report.protectors));
+        }
+        evaluate_protector_sets(&self.instance, model, &sets, mc)
+    }
+
+    fn solve_greedy(&mut self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        let config = request.greedy_config(self.master_seed);
+        let (target_alpha, budget) = match request.stop {
+            StopRule::Alpha(a) => {
+                if a.is_nan() || a <= 0.0 || a > 1.0 {
+                    return Err(LcrbError::InvalidAlpha { alpha: a });
+                }
+                (Some(a), None)
+            }
+            StopRule::Budget(k) => (None, Some(k)),
+        };
+        if let Estimator::Sketch(params) = config.estimator {
+            params.validate()?;
+        }
+        let before = self.cache.stats;
+        let mut clock = StageClock::start();
+        let Solver {
+            ref instance,
+            ref mut cache,
+            ref mut scratch,
+            master_seed,
+            epoch,
+            ..
+        } = *self;
+
+        let bridge = cache.bridge(config.rule, epoch, || {
+            Arc::new(find_bridge_ends(instance, config.rule))
+        });
+        clock.lap("bridge");
+
+        let model = normalized_model(&config);
+        let backend = match config.estimator {
+            Estimator::MonteCarlo => SigmaBackend::Mc(ProtectionObjective::with_model(
+                instance,
+                bridge.nodes.clone(),
+                model,
+                config.realizations,
+                master_seed,
+            )?),
+            Estimator::Sketch(params) => {
+                if !matches!(model, ObjectiveModel::Opoao(_)) {
+                    return Err(LcrbError::SketchModelUnsupported);
+                }
+                let key = SketchKey {
+                    rule: rule_tag(config.rule),
+                    max_hops: config.max_hops,
+                    epsilon_bits: params.epsilon.to_bits(),
+                    delta_bits: params.delta.to_bits(),
+                    min_sketches: params.min_sketches,
+                    max_sketches: params.max_sketches,
+                };
+                let index = cache.sketch(key, epoch, || {
+                    SketchIndex::build(
+                        instance,
+                        bridge.nodes.clone(),
+                        params,
+                        master_seed,
+                        config.max_hops,
+                    )
+                    .map(Arc::new)
+                })?;
+                SigmaBackend::Sketch(SketchObjective::from_index(instance, index))
+            }
+        };
+        clock.lap("estimator");
+
+        let target = match target_alpha {
+            Some(a) => a * bridge.len() as f64,
+            None => f64::INFINITY,
+        };
+        let cap = match budget {
+            Some(k) => k.min(config.max_protectors),
+            None => config.max_protectors,
+        };
+
+        let celf_key = CelfKey {
+            rule: rule_tag(config.rule),
+            estimator: estimator_key(&config.estimator, config.realizations),
+            model: model_key(&model),
+            candidates: candidates_key(config.candidates),
+            lazy: config.lazy,
+        };
+        let mut traj = match cache.take_celf(&celf_key, epoch) {
+            Some(t) => t,
+            None => GreedyTrajectory::new(candidate_pool_for(instance, &bridge, config.candidates)),
+        };
+        let evals_before = traj.evaluations();
+        let mut sigma_scratch = scratch.lend();
+        let advanced = advance_trajectory(
+            &backend,
+            &mut traj,
+            target,
+            cap,
+            config.lazy,
+            config.threads,
+            &mut sigma_scratch,
+        );
+        scratch.restore(sigma_scratch);
+        // On error the trajectory is dropped, not stored: a partially
+        // extended trajectory after a failed σ̂ evaluation could
+        // otherwise serve poisoned prefixes.
+        advanced?;
+        clock.lap("select");
+
+        let evaluations = traj.evaluations() - evals_before;
+        let selection =
+            selection_from_trajectory(&traj, target, cap, evaluations, (*bridge).clone());
+        cache.store_celf(celf_key, epoch, traj);
+
+        Ok(SolveReport {
+            algorithm: Algorithm::Greedy.name().to_owned(),
+            protectors: selection.protectors.clone(),
+            epoch,
+            stages: clock.stages,
+            cache: self.cache.stats.delta_since(&before),
+            detail: SolveDetail::Greedy(selection),
+        })
+    }
+
+    fn solve_scbg(&mut self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        let before = self.cache.stats;
+        let mut clock = StageClock::start();
+        let Solver {
+            ref instance,
+            ref mut cache,
+            epoch,
+            ..
+        } = *self;
+        let key = ScbgKey {
+            rule: rule_tag(request.rule),
+            depth: request.max_bbst_depth.map_or(u64::MAX, u64::from),
+        };
+        let solution = cache.scbg(key, epoch, || {
+            scbg(
+                instance,
+                &ScbgConfig {
+                    rule: request.rule,
+                    max_bbst_depth: request.max_bbst_depth,
+                },
+            )
+        });
+        clock.lap("select");
+        Ok(SolveReport {
+            algorithm: Algorithm::Scbg.name().to_owned(),
+            protectors: solution.protectors.clone(),
+            epoch,
+            stages: clock.stages,
+            cache: self.cache.stats.delta_since(&before),
+            detail: SolveDetail::Scbg(solution),
+        })
+    }
+
+    fn solve_gvs(&mut self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        let StopRule::Budget(budget) = request.stop else {
+            return Err(LcrbError::UnsupportedRequest {
+                reason:
+                    "the GVS baseline selects by budget; alpha targets apply only to the greedy",
+            });
+        };
+        let before = self.cache.stats;
+        let mut clock = StageClock::start();
+        let config = request.greedy_config(self.master_seed);
+        let model = normalized_model(&config);
+        let Solver {
+            ref instance,
+            ref mut cache,
+            master_seed,
+            epoch,
+            ..
+        } = *self;
+        let gvs_config = GvsConfig {
+            mc_runs: request.mc_runs,
+            seed: master_seed,
+            candidates: request.candidates,
+            rule: request.rule,
+        };
+        let key = GvsKey {
+            rule: rule_tag(request.rule),
+            candidates: candidates_key(request.candidates),
+            model: model_key(&model),
+            mc_runs: request.mc_runs,
+            budget,
+        };
+        let selection = cache.gvs(key, epoch, || match model {
+            ObjectiveModel::Opoao(m) => greedy_viral_stopper(instance, &m, budget, &gvs_config),
+            ObjectiveModel::CompetitiveIc(m) => {
+                greedy_viral_stopper(instance, &m, budget, &gvs_config)
+            }
+        })?;
+        clock.lap("select");
+        Ok(SolveReport {
+            algorithm: Algorithm::Gvs.name().to_owned(),
+            protectors: selection.protectors.clone(),
+            epoch,
+            stages: clock.stages,
+            cache: self.cache.stats.delta_since(&before),
+            detail: SolveDetail::Gvs(selection),
+        })
+    }
+
+    fn solve_heuristic(&mut self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        let StopRule::Budget(budget) = request.stop else {
+            return Err(LcrbError::UnsupportedRequest {
+                reason:
+                    "heuristic baselines select by budget; alpha targets apply only to the greedy",
+            });
+        };
+        let before = self.cache.stats;
+        let mut clock = StageClock::start();
+        let protectors = match request.algorithm {
+            Algorithm::MaxDegree => {
+                let ordering = self.cached_ordering(
+                    OrderingKey {
+                        tag: 0,
+                        damping_bits: 0,
+                    },
+                    |inst| MaxDegreeSelector.ordering(inst),
+                );
+                clock.lap("ordering");
+                let mut nodes = ordering.to_vec();
+                nodes.truncate(budget);
+                nodes
+            }
+            Algorithm::PageRank => {
+                let damping = request.pagerank_damping;
+                if !(damping.is_finite() && (0.0..1.0).contains(&damping)) {
+                    return Err(LcrbError::UnsupportedRequest {
+                        reason: "pagerank damping must be in [0, 1)",
+                    });
+                }
+                let key = OrderingKey {
+                    tag: 1,
+                    damping_bits: damping.to_bits(),
+                };
+                let ordering =
+                    self.cached_ordering(key, |inst| PageRankSelector::new(damping).ordering(inst));
+                clock.lap("ordering");
+                let mut nodes = ordering.to_vec();
+                nodes.truncate(budget);
+                nodes
+            }
+            Algorithm::Proximity => {
+                let pool = self.cached_ordering(
+                    OrderingKey {
+                        tag: 2,
+                        damping_bits: 0,
+                    },
+                    |inst| ProximitySelector.pool(inst),
+                );
+                clock.lap("ordering");
+                let mut rng = self.named_rng(Algorithm::Proximity.name(), budget);
+                let mut nodes = pool.to_vec();
+                nodes.shuffle(&mut rng);
+                nodes.truncate(budget);
+                nodes
+            }
+            Algorithm::Random => {
+                let mut rng = self.named_rng(Algorithm::Random.name(), budget);
+                let mut nodes: Vec<NodeId> = self
+                    .instance
+                    .graph()
+                    .nodes()
+                    .filter(|&v| !self.instance.is_rumor_seed(v))
+                    .collect();
+                nodes.shuffle(&mut rng);
+                nodes.truncate(budget);
+                nodes
+            }
+            Algorithm::NoBlocking => Vec::new(),
+            Algorithm::Greedy | Algorithm::Scbg | Algorithm::Gvs => {
+                unreachable!("non-heuristic algorithms are dispatched by solve()")
+            }
+        };
+        clock.lap("select");
+        Ok(SolveReport {
+            algorithm: request.algorithm.name().to_owned(),
+            protectors,
+            epoch: self.epoch,
+            stages: clock.stages,
+            cache: self.cache.stats.delta_since(&before),
+            detail: SolveDetail::Heuristic,
+        })
+    }
+
+    fn cached_ordering(
+        &mut self,
+        key: OrderingKey,
+        build: impl FnOnce(&RumorBlockingInstance) -> Vec<NodeId>,
+    ) -> Arc<Vec<NodeId>> {
+        let Solver {
+            ref instance,
+            ref mut cache,
+            epoch,
+            ..
+        } = *self;
+        cache.ordering(key, epoch, || build(instance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{greedy_lcrb_p, greedy_with_budget, NoBlockingSelector, RandomSelector};
+    use lcrb_community::Partition;
+    use lcrb_diffusion::OpoaoModel;
+    use lcrb_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chain_instance() -> RumorBlockingInstance {
+        let g = generators::path_graph(4);
+        let p = Partition::from_labels(vec![0, 0, 1, 1]);
+        RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap()
+    }
+
+    fn community_instance(seed: u64) -> RumorBlockingInstance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (g, labels) =
+            generators::planted_partition(&[20, 20, 20], 0.3, 0.03, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap()
+    }
+
+    fn sketch_request(budget: usize) -> SolveRequest {
+        SolveRequest::greedy_budget(budget)
+            .with_estimator(Estimator::Sketch(crate::SketchParams::default()))
+    }
+
+    #[test]
+    fn greedy_solve_matches_free_function_cold() {
+        let inst = community_instance(5);
+        let config = GreedyConfig {
+            realizations: 16,
+            max_hops: 20,
+            ..GreedyConfig::default()
+        };
+        let free = greedy_with_budget(&inst, 2, &config).unwrap();
+        let mut solver = Solver::new(inst);
+        let report = solver
+            .solve(&SolveRequest {
+                realizations: 16,
+                max_hops: 20,
+                ..SolveRequest::greedy_budget(2)
+            })
+            .unwrap();
+        assert_eq!(report.protectors, free.protectors);
+        let SolveDetail::Greedy(sel) = &report.detail else {
+            panic!("expected greedy detail");
+        };
+        assert_eq!(sel.sigma_history, free.sigma_history);
+        assert_eq!(sel.achieved, free.achieved);
+        assert_eq!(sel.evaluations, free.evaluations);
+        // A cold solve misses everything it looks up.
+        assert_eq!(report.cache_hits(), 0);
+        assert!(report.cache_misses() >= 2); // bridge + celf
+    }
+
+    #[test]
+    fn greedy_alpha_solve_matches_free_function() {
+        let inst = community_instance(7);
+        let config = GreedyConfig {
+            realizations: 12,
+            alpha: 0.6,
+            max_hops: 15,
+            ..GreedyConfig::default()
+        };
+        let free = greedy_lcrb_p(&inst, &config).unwrap();
+        let mut solver = Solver::new(inst);
+        let report = solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_alpha(0.6)
+            })
+            .unwrap();
+        assert_eq!(report.protectors, free.protectors);
+        let SolveDetail::Greedy(sel) = &report.detail else {
+            panic!("expected greedy detail");
+        };
+        assert_eq!(sel.target, free.target);
+        assert_eq!(sel.target_met, free.target_met);
+        assert_eq!(sel.achieved, free.achieved);
+    }
+
+    #[test]
+    fn warm_resolve_is_bitwise_identical_and_hits_cache() {
+        let inst = community_instance(9);
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 12,
+            max_hops: 15,
+            ..SolveRequest::greedy_budget(2)
+        };
+        let cold = solver.solve(&req).unwrap();
+        let warm = solver.solve(&req).unwrap();
+        assert_eq!(warm.protectors, cold.protectors);
+        let (SolveDetail::Greedy(a), SolveDetail::Greedy(b)) = (&cold.detail, &warm.detail) else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(a.sigma_history, b.sigma_history);
+        assert_eq!(a.achieved, b.achieved);
+        // The warm solve re-evaluates nothing and hits every artifact.
+        assert_eq!(b.evaluations, 0);
+        assert_eq!(warm.cache_misses(), 0);
+        assert!(warm.cache_hits() >= 2);
+    }
+
+    #[test]
+    fn budget_change_resumes_the_cached_trajectory() {
+        let inst = community_instance(11);
+        let mut solver = Solver::new(inst.clone());
+        let small = solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_budget(1)
+            })
+            .unwrap();
+        let grown = solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_budget(3)
+            })
+            .unwrap();
+        // Prefix consistency: the grown solve extends the small one.
+        assert_eq!(
+            &grown.protectors[..small.protectors.len()],
+            &small.protectors[..]
+        );
+        assert!(grown.cache_hits() > 0);
+        // And matches a cold solver asked for the large budget directly.
+        let mut fresh = Solver::new(inst);
+        let cold = fresh
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_budget(3)
+            })
+            .unwrap();
+        assert_eq!(grown.protectors, cold.protectors);
+        let (SolveDetail::Greedy(a), SolveDetail::Greedy(b)) = (&grown.detail, &cold.detail) else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(a.sigma_history, b.sigma_history);
+        assert_eq!(a.achieved, b.achieved);
+        // Shrinking back reads a prefix without any new evaluations.
+        let shrunk = solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_budget(1)
+            })
+            .unwrap();
+        assert_eq!(shrunk.protectors, small.protectors);
+        let SolveDetail::Greedy(s) = &shrunk.detail else {
+            panic!("expected greedy detail");
+        };
+        assert_eq!(s.evaluations, 0);
+    }
+
+    #[test]
+    fn sketch_index_is_shared_across_budgets() {
+        let inst = community_instance(13);
+        let mut solver = Solver::new(inst.clone());
+        let cold = solver.solve(&sketch_request(1)).unwrap();
+        assert_eq!(cold.cache.sketch.misses, 1);
+        let warm = solver.solve(&sketch_request(3)).unwrap();
+        assert_eq!(warm.cache.sketch.hits, 1);
+        assert_eq!(warm.cache.sketch.misses, 0);
+        assert_eq!(warm.cache.bridge.hits, 1);
+        // Bitwise identical to a cold budget-3 sketch solve.
+        let mut fresh = Solver::new(inst);
+        let direct = fresh.solve(&sketch_request(3)).unwrap();
+        assert_eq!(warm.protectors, direct.protectors);
+        let (SolveDetail::Greedy(a), SolveDetail::Greedy(b)) = (&warm.detail, &direct.detail)
+        else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(a.sigma_history, b.sigma_history);
+    }
+
+    #[test]
+    fn alpha_after_budget_reuses_the_trajectory() {
+        let inst = community_instance(15);
+        let mut solver = Solver::new(inst.clone());
+        solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_budget(4)
+            })
+            .unwrap();
+        let warm = solver
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_alpha(0.6)
+            })
+            .unwrap();
+        let mut fresh = Solver::new(inst);
+        let cold = fresh
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                ..SolveRequest::greedy_alpha(0.6)
+            })
+            .unwrap();
+        assert_eq!(warm.protectors, cold.protectors);
+        let (SolveDetail::Greedy(a), SolveDetail::Greedy(b)) = (&warm.detail, &cold.detail) else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.target_met, b.target_met);
+    }
+
+    #[test]
+    fn invalidate_forces_cold_resolve() {
+        let inst = community_instance(17);
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(1)
+        };
+        let cold = solver.solve(&req).unwrap();
+        assert_eq!(solver.epoch(), 0);
+        solver.invalidate();
+        assert_eq!(solver.epoch(), 1);
+        let after = solver.solve(&req).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.cache_hits(), 0);
+        assert_eq!(after.protectors, cold.protectors);
+    }
+
+    #[test]
+    fn set_rumor_seeds_revalidates_and_invalidates() {
+        let inst = community_instance(19);
+        let members = inst.rumor_community_members();
+        let fresh_seed = members
+            .iter()
+            .copied()
+            .find(|&v| !inst.is_rumor_seed(v))
+            .unwrap();
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(1)
+        };
+        solver.solve(&req).unwrap();
+        let epoch_before = solver.epoch();
+        solver.set_rumor_seeds(vec![fresh_seed]).unwrap();
+        assert_eq!(solver.epoch(), epoch_before + 1);
+        assert_eq!(solver.instance().rumor_seeds(), &[fresh_seed]);
+        let report = solver.solve(&req).unwrap();
+        assert_eq!(report.cache_hits(), 0);
+        // An invalid update leaves the session untouched.
+        let err = solver.set_rumor_seeds(vec![]).unwrap_err();
+        assert!(matches!(err, LcrbError::NoRumorSeeds));
+        assert_eq!(solver.instance().rumor_seeds(), &[fresh_seed]);
+    }
+
+    #[test]
+    fn scbg_solve_matches_free_function_and_caches() {
+        let inst = community_instance(21);
+        let free = scbg(&inst, &ScbgConfig::default());
+        let mut solver = Solver::new(inst);
+        let cold = solver.solve(&SolveRequest::scbg()).unwrap();
+        assert_eq!(cold.protectors, free.protectors);
+        let SolveDetail::Scbg(sol) = &cold.detail else {
+            panic!("expected scbg detail");
+        };
+        assert_eq!(sol.covered, free.covered);
+        let warm = solver.solve(&SolveRequest::scbg()).unwrap();
+        assert_eq!(warm.cache.scbg.hits, 1);
+        assert_eq!(warm.protectors, free.protectors);
+    }
+
+    #[test]
+    fn gvs_solve_matches_free_function_and_caches() {
+        let inst = community_instance(23);
+        let config = GvsConfig {
+            mc_runs: 4,
+            seed: 0,
+            ..GvsConfig::default()
+        };
+        let free = greedy_viral_stopper(&inst, &OpoaoModel::new(10), 2, &config).unwrap();
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            mc_runs: 4,
+            max_hops: 10,
+            ..SolveRequest::gvs(2)
+        };
+        let cold = solver.solve(&req).unwrap();
+        assert_eq!(cold.protectors, free.protectors);
+        let warm = solver.solve(&req).unwrap();
+        assert_eq!(warm.cache.gvs.hits, 1);
+        assert_eq!(warm.protectors, free.protectors);
+        // α stops are not a GVS concept.
+        let err = solver
+            .solve(&SolveRequest {
+                stop: StopRule::Alpha(0.5),
+                ..req
+            })
+            .unwrap_err();
+        assert!(matches!(err, LcrbError::UnsupportedRequest { .. }));
+    }
+
+    #[test]
+    fn heuristics_match_legacy_selectors_and_cache_orderings() {
+        let inst = community_instance(25);
+        let mut solver = Solver::new(inst.clone());
+        // Deterministic orderings agree with the legacy selectors.
+        let md = solver
+            .solve(&SolveRequest::heuristic(Algorithm::MaxDegree, 3))
+            .unwrap();
+        let mut ordering = MaxDegreeSelector.ordering(&inst);
+        ordering.truncate(3);
+        assert_eq!(md.protectors, ordering);
+        let md_warm = solver
+            .solve(&SolveRequest::heuristic(Algorithm::MaxDegree, 5))
+            .unwrap();
+        assert_eq!(md_warm.cache.ordering.hits, 1);
+        let pr = solver
+            .solve(&SolveRequest::heuristic(Algorithm::PageRank, 3))
+            .unwrap();
+        let mut pr_ordering = PageRankSelector::default().ordering(&inst);
+        pr_ordering.truncate(3);
+        assert_eq!(pr.protectors, pr_ordering);
+        // Proximity picks come from the legacy pool.
+        let pool = ProximitySelector.pool(&inst);
+        let prox = solver
+            .solve(&SolveRequest::heuristic(Algorithm::Proximity, 2))
+            .unwrap();
+        assert!(prox.protectors.iter().all(|v| pool.contains(v)));
+        // Random picks are valid non-rumor nodes of the right count.
+        let rnd = solver
+            .solve(&SolveRequest::heuristic(Algorithm::Random, 4))
+            .unwrap();
+        assert_eq!(rnd.protectors.len(), 4);
+        assert!(rnd.protectors.iter().all(|&v| !inst.is_rumor_seed(v)));
+        let none = solver
+            .solve(&SolveRequest::heuristic(Algorithm::NoBlocking, 4))
+            .unwrap();
+        assert!(none.protectors.is_empty());
+    }
+
+    #[test]
+    fn heuristic_solves_are_deterministic_per_request() {
+        let inst = community_instance(27);
+        let mut a = Solver::new(inst.clone());
+        let mut b = Solver::new(inst);
+        for algo in [Algorithm::Proximity, Algorithm::Random] {
+            let req = SolveRequest::heuristic(algo, 3);
+            assert_eq!(
+                a.solve(&req).unwrap().protectors,
+                b.solve(&req).unwrap().protectors
+            );
+            // Same request twice on one solver: same picks.
+            assert_eq!(
+                a.solve(&req).unwrap().protectors,
+                b.solve(&req).unwrap().protectors
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_requests_are_typed_errors() {
+        let inst = chain_instance();
+        let mut solver = Solver::new(inst);
+        for req in [
+            SolveRequest {
+                stop: StopRule::Alpha(0.5),
+                ..SolveRequest::heuristic(Algorithm::MaxDegree, 1)
+            },
+            SolveRequest {
+                pagerank_damping: 1.5,
+                ..SolveRequest::heuristic(Algorithm::PageRank, 1)
+            },
+            SolveRequest {
+                pagerank_damping: f64::NAN,
+                ..SolveRequest::heuristic(Algorithm::PageRank, 1)
+            },
+        ] {
+            assert!(matches!(
+                solver.solve(&req).unwrap_err(),
+                LcrbError::UnsupportedRequest { .. }
+            ));
+        }
+        assert!(matches!(
+            solver.solve(&SolveRequest::greedy_alpha(1.5)).unwrap_err(),
+            LcrbError::InvalidAlpha { .. }
+        ));
+        let bad_sketch =
+            SolveRequest::greedy_budget(1).with_estimator(Estimator::Sketch(crate::SketchParams {
+                epsilon: 0.0,
+                ..crate::SketchParams::default()
+            }));
+        assert!(matches!(
+            solver.solve(&bad_sketch).unwrap_err(),
+            LcrbError::InvalidSketchParams { .. }
+        ));
+    }
+
+    #[test]
+    fn failed_solve_does_not_poison_the_cache() {
+        let inst = community_instance(29);
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(2)
+        };
+        let cold = solver.solve(&req).unwrap();
+        // A failing request (bad sketch params) between two good ones.
+        let bad =
+            SolveRequest::greedy_budget(2).with_estimator(Estimator::Sketch(crate::SketchParams {
+                delta: 1.0,
+                ..crate::SketchParams::default()
+            }));
+        assert!(solver.solve(&bad).is_err());
+        let warm = solver.solve(&req).unwrap();
+        assert_eq!(warm.protectors, cold.protectors);
+        assert_eq!(warm.cache_misses(), 0);
+    }
+
+    #[test]
+    fn budgeted_adapter_wraps_legacy_selectors() {
+        let inst = community_instance(31);
+        let mut solver = Solver::new(inst);
+        let adapter = Budgeted {
+            selector: &RandomSelector,
+            budget: 3,
+        };
+        assert_eq!(Selector::name(&adapter), "random");
+        let via_adapter = solver.run(&adapter).unwrap();
+        assert_eq!(via_adapter.algorithm, "random");
+        assert_eq!(via_adapter.protectors.len(), 3);
+        assert!(matches!(via_adapter.detail, SolveDetail::Heuristic));
+        // The adapter and the native request share the RNG stream.
+        let native = solver
+            .solve(&SolveRequest::heuristic(Algorithm::Random, 3))
+            .unwrap();
+        assert_eq!(via_adapter.protectors, native.protectors);
+        assert!(format!("{adapter:?}").contains("random"));
+    }
+
+    #[test]
+    fn compare_runs_selectors_through_the_session() {
+        let inst = community_instance(33);
+        let mut solver = Solver::new(inst);
+        let greedy = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(2)
+        };
+        let scbg_req = SolveRequest::scbg();
+        let none = Budgeted {
+            selector: &NoBlockingSelector,
+            budget: 2,
+        };
+        let selectors: [&dyn Selector; 3] = [&greedy, &scbg_req, &none];
+        let report = solver
+            .compare(
+                &OpoaoModel::new(10),
+                &selectors,
+                &MonteCarloConfig {
+                    runs: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.runs[0].name, "greedy");
+        assert_eq!(report.runs[1].name, "scbg");
+        assert_eq!(report.runs[2].name, "no-blocking");
+        assert!(report.runs[2].protectors.is_empty());
+    }
+
+    #[test]
+    fn reports_carry_stage_timings() {
+        let inst = chain_instance();
+        let mut solver = Solver::new(inst);
+        let report = solver
+            .solve(&SolveRequest {
+                realizations: 4,
+                ..SolveRequest::greedy_budget(1)
+            })
+            .unwrap();
+        let names: Vec<_> = report.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["bridge", "estimator", "select"]);
+        assert!(report.stage_nanos("select").is_some());
+        assert!(report.stage_nanos("nope").is_none());
+        assert_eq!(
+            report.total_nanos(),
+            report.stages.iter().map(|s| s.nanos).sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn cache_stats_accumulate_and_delta() {
+        let inst = community_instance(35);
+        let mut solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(1)
+        };
+        let before = solver.cache_stats();
+        assert_eq!(before.hits() + before.misses(), 0);
+        solver.solve(&req).unwrap();
+        solver.solve(&req).unwrap();
+        let after = solver.cache_stats();
+        assert!(after.hits() >= 2);
+        assert!(after.misses() >= 2);
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.hits(), after.hits());
+    }
+}

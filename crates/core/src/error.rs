@@ -50,6 +50,13 @@ pub enum LcrbError {
     /// The sketch estimator only supports the OPOAO objective model
     /// (RR sketches invert OPOAO live-edge semantics).
     SketchModelUnsupported,
+    /// A [`crate::engine::SolveRequest`] combined options that no
+    /// algorithm implements (e.g. an α stopping rule on a pure-budget
+    /// baseline).
+    UnsupportedRequest {
+        /// Which combination is unsupported.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for LcrbError {
@@ -84,6 +91,9 @@ impl fmt::Display for LcrbError {
             }
             LcrbError::SketchModelUnsupported => {
                 f.write_str("the sketch estimator supports only the OPOAO objective model")
+            }
+            LcrbError::UnsupportedRequest { reason } => {
+                write!(f, "unsupported solve request: {reason}")
             }
         }
     }
@@ -125,6 +135,10 @@ mod tests {
         let e = LcrbError::InvalidAlpha { alpha: 1.5 };
         assert!(e.to_string().contains("1.5"));
         assert!(LcrbError::NoRumorSeeds.to_string().contains("rumor seed"));
+        let e = LcrbError::UnsupportedRequest {
+            reason: "alpha stop on a heuristic",
+        };
+        assert!(e.to_string().contains("alpha stop on a heuristic"));
     }
 
     #[test]

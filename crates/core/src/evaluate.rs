@@ -3,12 +3,10 @@
 //! chosen model with Monte Carlo, and collect per-hop infected
 //! series.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use lcrb_diffusion::{monte_carlo_csr, AveragedOutcome, MonteCarloConfig, TwoCascadeModel};
 use lcrb_graph::NodeId;
 
+use crate::engine::{Budgeted, Selector, Solver, SolverConfig};
 use crate::{LcrbError, ProtectorSelector, RumorBlockingInstance};
 
 /// One algorithm's evaluation: its protector set and the averaged
@@ -119,7 +117,16 @@ where
 
 /// Runs each selector with the same `budget` (the paper's equal-seed
 /// comparison, §VI-B2) and evaluates the selections under `model`.
-/// Selector randomness is seeded from `selection_seed`.
+/// Selector randomness is derived from `selection_seed` per selector
+/// name, so each strategy draws an independent deterministic stream.
+///
+/// **Deprecated shim**: this is now a thin wrapper that builds a
+/// one-shot [`Solver`] session (cloning the instance) and routes each
+/// selector through the [`Budgeted`] adapter. Code that compares
+/// strategies repeatedly should hold its own [`Solver`] and call
+/// [`Solver::compare`], which also admits engine-native
+/// [`crate::engine::SolveRequest`] selectors and reuses cached
+/// artifacts across calls.
 ///
 /// # Errors
 ///
@@ -136,11 +143,21 @@ pub fn compare_selectors<M>(
 where
     M: TwoCascadeModel + Sync,
 {
-    let mut rng = SmallRng::seed_from_u64(selection_seed);
-    let sets: Vec<(String, Vec<NodeId>)> = selectors
+    let mut solver = Solver::with_config(
+        instance.clone(),
+        SolverConfig {
+            master_seed: selection_seed,
+        },
+    );
+    let adapters: Vec<Budgeted<'_>> = selectors
         .iter()
-        .map(|s| (s.name().to_owned(), s.select(instance, budget, &mut rng)))
+        .map(|&selector| Budgeted { selector, budget })
         .collect();
+    let mut sets = Vec::with_capacity(adapters.len());
+    for adapter in &adapters {
+        let report = adapter.select(&mut solver)?;
+        sets.push((report.algorithm, report.protectors));
+    }
     evaluate_protector_sets(instance, model, &sets, mc)
 }
 

@@ -156,6 +156,13 @@ impl Ord for FiniteF64 {
 
 /// Runs Algorithm 1: select protectors until `σ̂ ≥ α·|B|`.
 ///
+/// **Deprecated shim**: this one-shot entry rebuilds every artifact
+/// (bridge ends, estimator state) per call. New code should hold a
+/// [`crate::engine::Solver`] and submit
+/// [`crate::engine::SolveRequest`]s, which cache those artifacts
+/// across queries; this function remains for one-off use and will be
+/// removed from the prelude in a future release.
+///
 /// # Errors
 ///
 /// - [`LcrbError::InvalidAlpha`] if `config.alpha` is not in
@@ -184,6 +191,11 @@ pub fn greedy_lcrb_p(
 /// protector and rumor originators, how many nodes will be infected?"
 /// (§VI-B2).
 ///
+/// **Deprecated shim**: prefer a [`crate::engine::Solver`] with
+/// [`crate::engine::SolveRequest::greedy_budget`], which reuses the
+/// sketch sample and CELF state across budgets instead of rebuilding
+/// them per call.
+///
 /// # Errors
 ///
 /// Returns [`LcrbError::NoRealizations`] if `config.realizations ==
@@ -198,45 +210,65 @@ pub fn greedy_with_budget(
 
 /// The `σ̂` estimator selected by [`GreedyConfig::estimator`], behind
 /// one `sigma_with`-shaped call for the CELF loop.
-enum SigmaBackend<'a> {
+///
+/// Crate-internal so the session engine ([`crate::engine::Solver`])
+/// can assemble one from cached artifacts (a shared
+/// [`crate::SketchIndex`]) instead of rebuilding per solve.
+pub(crate) enum SigmaBackend<'a> {
     Mc(ProtectionObjective<'a>),
     Sketch(SketchObjective<'a>),
 }
 
-/// Per-worker scratch covering either backend (both halves are empty
-/// `Vec`s until first used, so carrying the unused one is free).
-#[derive(Default)]
-struct SigmaScratch {
+/// Per-worker scratch covering either backend (all parts are empty
+/// until first used, so carrying the unused ones is free): a
+/// [`SimWorkspace`] plus a reusable seed pair for Monte Carlo,
+/// coverage stamps for sketches.
+#[derive(Debug, Default)]
+pub(crate) struct SigmaScratch {
     ws: SimWorkspace,
+    seeds: Option<lcrb_diffusion::SeedSets>,
     coverage: CoverageScratch,
 }
 
 impl SigmaBackend<'_> {
-    fn sigma_with(&self, protectors: &[NodeId], s: &mut SigmaScratch) -> Result<f64, LcrbError> {
+    pub(crate) fn sigma_with(
+        &self,
+        protectors: &[NodeId],
+        s: &mut SigmaScratch,
+    ) -> Result<f64, LcrbError> {
         match self {
-            SigmaBackend::Mc(obj) => obj.sigma_with(protectors, &mut s.ws),
+            SigmaBackend::Mc(obj) => {
+                obj.sigma_with_cached_seeds(protectors, &mut s.seeds, &mut s.ws)
+            }
             SigmaBackend::Sketch(obj) => obj.sigma_with(protectors, &mut s.coverage),
         }
     }
 }
 
-fn run_greedy(
-    instance: &RumorBlockingInstance,
-    config: &GreedyConfig,
-    budget: Option<usize>,
-) -> Result<GreedySelection, LcrbError> {
-    let bridge_ends = find_bridge_ends(instance, config.rule);
-    let model = match config.model {
-        // The config's hop budget governs the OPOAO objective.
+/// Applies the config's hop budget to the OPOAO objective model (an
+/// IC model keeps its own hop budget) — shared between the one-shot
+/// path here and the session engine.
+pub(crate) fn normalized_model(config: &GreedyConfig) -> ObjectiveModel {
+    match config.model {
         ObjectiveModel::Opoao(_) => {
             ObjectiveModel::Opoao(lcrb_diffusion::OpoaoModel::new(config.max_hops))
         }
         other => other,
-    };
-    let objective = match config.estimator {
+    }
+}
+
+/// Builds the `σ̂` backend the config asks for, sampling sketches or
+/// deriving the realization batch as needed.
+pub(crate) fn build_backend<'a>(
+    instance: &'a RumorBlockingInstance,
+    config: &GreedyConfig,
+    bridge_nodes: Vec<NodeId>,
+) -> Result<SigmaBackend<'a>, LcrbError> {
+    let model = normalized_model(config);
+    Ok(match config.estimator {
         Estimator::MonteCarlo => SigmaBackend::Mc(ProtectionObjective::with_model(
             instance,
-            bridge_ends.nodes.clone(),
+            bridge_nodes,
             model,
             config.realizations,
             config.master_seed,
@@ -247,115 +279,259 @@ fn run_greedy(
             }
             SigmaBackend::Sketch(SketchObjective::build(
                 instance,
-                bridge_ends.nodes.clone(),
+                bridge_nodes,
                 params,
                 config.master_seed,
                 config.max_hops,
             )?)
         }
+    })
+}
+
+/// The resumable state of one greedy run: the CELF pick sequence so
+/// far, plus everything needed to continue it.
+///
+/// The key invariant (CELF prefix consistency): the stopping rule —
+/// target `α·|B|` or budget cap — only decides *where the pick
+/// sequence stops*, never *which node is picked next*. So a
+/// trajectory extended under one stopping rule serves any other rule
+/// bitwise-identically: smaller budgets and already-met targets read
+/// a prefix; larger ones resume the loop from the stored heap, which
+/// has seen exactly the same push/pop sequence an uninterrupted cold
+/// run would have produced. The session engine caches trajectories
+/// across solves on the strength of this invariant.
+#[derive(Clone, Debug)]
+pub(crate) struct GreedyTrajectory {
+    candidates: Vec<NodeId>,
+    selected: Vec<NodeId>,
+    sigma_history: Vec<f64>,
+    sigma_empty: f64,
+    sigma_current: f64,
+    /// Cumulative σ̂ evaluations over the trajectory's whole life.
+    evaluations: usize,
+    /// CELF heap: (gain, candidate index, round the gain was scored).
+    heap: BinaryHeap<(FiniteF64, usize, usize)>,
+    round: usize,
+    /// Whether `sigma_empty` has been evaluated.
+    started: bool,
+    /// Whether the initial parallel gain sweep has run.
+    swept: bool,
+    /// The pick loop ended with no positive marginal gain left;
+    /// gains only shrink (submodularity), so no extension can ever
+    /// add another pick.
+    exhausted: bool,
+    /// Reusable trial buffer for `selected + [candidate]` probes.
+    trial: Vec<NodeId>,
+}
+
+impl GreedyTrajectory {
+    pub(crate) fn new(candidates: Vec<NodeId>) -> Self {
+        GreedyTrajectory {
+            candidates,
+            // xtask-allow: hotpath -- empty constructor state, one per trajectory; picks grow it incrementally
+            selected: Vec::new(),
+            // xtask-allow: hotpath -- empty constructor state, one per trajectory; picks grow it incrementally
+            sigma_history: Vec::new(),
+            sigma_empty: 0.0,
+            sigma_current: 0.0,
+            evaluations: 0,
+            heap: BinaryHeap::new(),
+            round: 0,
+            started: false,
+            swept: false,
+            exhausted: false,
+            // xtask-allow: hotpath -- empty constructor state; the probe loop reuses it clear-and-refill
+            trial: Vec::new(),
+        }
+    }
+
+    /// Cumulative σ̂ evaluations across every extension so far.
+    pub(crate) fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+}
+
+/// Extends `traj` until the stopping rule holds: `σ̂ ≥ target`, `cap`
+/// picks made, or the candidate pool is out of positive gains.
+///
+/// Replays exactly the cold Algorithm 1 + CELF loop; on a fresh
+/// trajectory this *is* the cold run.
+pub(crate) fn advance_trajectory(
+    backend: &SigmaBackend<'_>,
+    traj: &mut GreedyTrajectory,
+    target: f64,
+    cap: usize,
+    lazy: bool,
+    threads: usize,
+    scratch: &mut SigmaScratch,
+) -> Result<(), LcrbError> {
+    if !traj.started {
+        traj.sigma_empty = backend.sigma_with(&[], scratch)?;
+        traj.sigma_current = traj.sigma_empty;
+        traj.evaluations += 1;
+        traj.started = true;
+    }
+
+    while traj.sigma_current < target && traj.selected.len() < cap && !traj.exhausted {
+        if traj.candidates.is_empty() {
+            break;
+        }
+        if !traj.swept {
+            // Initial sweep: marginal gain of every candidate alone,
+            // evaluated in parallel. Runs at most once per trajectory
+            // (always with the empty selection), so resumed runs see
+            // the same gains a cold run would.
+            let gains =
+                parallel_initial_gains(backend, &traj.candidates, traj.sigma_current, threads)?;
+            traj.evaluations += traj.candidates.len();
+            traj.heap = gains
+                .iter()
+                .enumerate()
+                .map(|(i, &g)| (FiniteF64(g), i, 0))
+                // xtask-allow: collect -- runs once per trajectory (guarded by `swept`), not per pick
+                .collect();
+            traj.swept = true;
+        }
+        if lazy {
+            let Some((FiniteF64(gain), idx, scored_round)) = traj.heap.pop() else {
+                traj.exhausted = true;
+                break;
+            };
+            if scored_round < traj.round {
+                // Stale: re-score against the current selection.
+                traj.trial.clear();
+                traj.trial.extend_from_slice(&traj.selected);
+                traj.trial.push(traj.candidates[idx]);
+                let s = backend.sigma_with(&traj.trial, scratch)?;
+                traj.evaluations += 1;
+                traj.heap
+                    .push((FiniteF64(s - traj.sigma_current), idx, traj.round));
+                continue;
+            }
+            if gain <= 1e-12 {
+                traj.exhausted = true; // no candidate can improve σ̂ any further
+                break;
+            }
+            traj.selected.push(traj.candidates[idx]);
+            traj.sigma_current += gain;
+            traj.sigma_history.push(traj.sigma_current);
+            traj.round += 1;
+        } else {
+            // Plain Algorithm 1: re-score everything each round.
+            let mut best: Option<(f64, usize)> = None;
+            let mut evals = 0usize;
+            for (idx, &candidate) in traj.candidates.iter().enumerate() {
+                if traj.selected.contains(&candidate) {
+                    continue;
+                }
+                traj.trial.clear();
+                traj.trial.extend_from_slice(&traj.selected);
+                traj.trial.push(candidate);
+                let s = backend.sigma_with(&traj.trial, scratch)?;
+                evals += 1;
+                let gain = s - traj.sigma_current;
+                if best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, idx));
+                }
+            }
+            traj.evaluations += evals;
+            let Some((gain, idx)) = best else {
+                traj.exhausted = true;
+                break;
+            };
+            if gain <= 1e-12 {
+                traj.exhausted = true;
+                break;
+            }
+            traj.selected.push(traj.candidates[idx]);
+            traj.sigma_current += gain;
+            traj.sigma_history.push(traj.sigma_current);
+        }
+    }
+    Ok(())
+}
+
+/// Materializes a [`GreedySelection`] as the stopping rule's prefix
+/// of the (possibly longer) trajectory.
+///
+/// `evaluations` is the number of σ̂ evaluations the caller charges to
+/// this solve — the whole trajectory for a cold run, the extension
+/// delta for a warm cached one.
+pub(crate) fn selection_from_trajectory(
+    traj: &GreedyTrajectory,
+    target: f64,
+    cap: usize,
+    evaluations: usize,
+    bridge_ends: BridgeEnds,
+) -> GreedySelection {
+    let limit = traj.selected.len().min(cap);
+    // Smallest prefix meeting the target, else everything available
+    // under the cap — exactly where the cold loop would have stopped.
+    let len = (0..=limit)
+        .find(|&k| {
+            let achieved = if k == 0 {
+                traj.sigma_empty
+            } else {
+                traj.sigma_history[k - 1]
+            };
+            achieved >= target
+        })
+        .unwrap_or(limit);
+    let achieved = if len == 0 {
+        traj.sigma_empty
+    } else {
+        traj.sigma_history[len - 1]
     };
+    GreedySelection {
+        // xtask-allow: bufclone -- per-solve result materialization: at most `cap` picks copied out of the cached trajectory
+        protectors: traj.selected[..len].to_vec(),
+        // xtask-allow: bufclone -- per-solve result materialization: at most `cap` picks copied out of the cached trajectory
+        sigma_history: traj.sigma_history[..len].to_vec(),
+        target,
+        achieved,
+        target_met: achieved >= target,
+        evaluations,
+        bridge_ends,
+    }
+}
+
+fn run_greedy(
+    instance: &RumorBlockingInstance,
+    config: &GreedyConfig,
+    budget: Option<usize>,
+) -> Result<GreedySelection, LcrbError> {
+    let bridge_ends = find_bridge_ends(instance, config.rule);
+    // xtask-allow: bufclone -- one-time handoff of the bridge-end list to the estimator, outside the query loop
+    let backend = build_backend(instance, config, bridge_ends.nodes.clone())?;
     let target = match budget {
         Some(_) => f64::INFINITY,
         None => config.alpha * bridge_ends.len() as f64,
     };
     let cap = budget.unwrap_or(config.max_protectors);
 
-    let candidates = candidate_pool(instance, &bridge_ends, config.candidates);
-    // xtask-allow: hotpath -- per-run result accumulator, allocated once before the CELF loop
-    let mut selected: Vec<NodeId> = Vec::new();
-    // xtask-allow: hotpath -- per-run result accumulator, allocated once before the CELF loop
-    let mut sigma_history = Vec::new();
-    let mut evaluations = 0usize;
-
+    let mut traj = GreedyTrajectory::new(candidate_pool(instance, &bridge_ends, config.candidates));
     // One long-lived scratch drives every σ̂ evaluation of the
-    // sequential CELF loop (a `SimWorkspace` against the CSR snapshot
-    // for Monte Carlo, coverage stamps for sketches).
-    let mut ws = SigmaScratch::default();
-    let mut sigma_current = objective.sigma_with(&selected, &mut ws)?;
-    evaluations += 1;
-
-    if sigma_current >= target || candidates.is_empty() || cap == 0 {
-        let achieved = sigma_current;
-        return Ok(GreedySelection {
-            protectors: selected,
-            sigma_history,
-            target,
-            achieved,
-            target_met: achieved >= target,
-            evaluations,
-            bridge_ends,
-        });
-    }
-
-    // Initial sweep: marginal gain of every candidate alone,
-    // evaluated in parallel.
-    let gains = parallel_initial_gains(&objective, &candidates, sigma_current, config.threads)?;
-    evaluations += candidates.len();
-
-    // CELF heap: (gain, candidate index, round the gain was scored).
-    let mut heap: BinaryHeap<(FiniteF64, usize, usize)> = gains
-        .iter()
-        .enumerate()
-        .map(|(i, &g)| (FiniteF64(g), i, 0))
-        .collect();
-    let mut round = 0usize;
-
-    while sigma_current < target && selected.len() < cap {
-        if config.lazy {
-            let Some((FiniteF64(gain), idx, scored_round)) = heap.pop() else {
-                break;
-            };
-            if scored_round < round {
-                // Stale: re-score against the current selection.
-                let mut trial = selected.clone();
-                trial.push(candidates[idx]);
-                let s = objective.sigma_with(&trial, &mut ws)?;
-                evaluations += 1;
-                heap.push((FiniteF64(s - sigma_current), idx, round));
-                continue;
-            }
-            if gain <= 1e-12 {
-                break; // no candidate can improve σ̂ any further
-            }
-            selected.push(candidates[idx]);
-            sigma_current += gain;
-            sigma_history.push(sigma_current);
-            round += 1;
-        } else {
-            // Plain Algorithm 1: re-score everything each round.
-            let mut best: Option<(f64, usize)> = None;
-            for (idx, &candidate) in candidates.iter().enumerate() {
-                if selected.contains(&candidate) {
-                    continue;
-                }
-                let mut trial = selected.clone();
-                trial.push(candidate);
-                let s = objective.sigma_with(&trial, &mut ws)?;
-                evaluations += 1;
-                let gain = s - sigma_current;
-                if best.is_none_or(|(bg, _)| gain > bg) {
-                    best = Some((gain, idx));
-                }
-            }
-            let Some((gain, idx)) = best else { break };
-            if gain <= 1e-12 {
-                break;
-            }
-            selected.push(candidates[idx]);
-            sigma_current += gain;
-            sigma_history.push(sigma_current);
-        }
-    }
-
-    Ok(GreedySelection {
-        target_met: sigma_current >= target,
-        achieved: sigma_current,
-        protectors: selected,
-        sigma_history,
+    // sequential CELF loop (a `SimWorkspace` plus reusable seed pair
+    // against the CSR snapshot for Monte Carlo, coverage stamps for
+    // sketches).
+    let mut scratch = SigmaScratch::default();
+    advance_trajectory(
+        &backend,
+        &mut traj,
         target,
+        cap,
+        config.lazy,
+        config.threads,
+        &mut scratch,
+    )?;
+    let evaluations = traj.evaluations();
+    Ok(selection_from_trajectory(
+        &traj,
+        target,
+        cap,
         evaluations,
         bridge_ends,
-    })
+    ))
 }
 
 /// Crate-internal access to the candidate-pool construction (shared

@@ -181,6 +181,42 @@ impl RumorBlockingInstance {
         self.rumor_seeds.contains(&node)
     }
 
+    /// Rebuilds the instance with a different rumor seed set,
+    /// reusing the already-frozen CSR snapshot (the graph does not
+    /// change, so there is nothing to re-freeze).
+    ///
+    /// This is the re-seeding hook behind
+    /// [`crate::engine::Solver::set_rumor_seeds`]; the engine bumps
+    /// its cache epoch when it swaps instances.
+    ///
+    /// # Errors
+    ///
+    /// Same seed-validation errors as [`RumorBlockingInstance::new`].
+    pub fn with_rumor_seeds(&self, rumor_seeds: Vec<NodeId>) -> Result<Self, LcrbError> {
+        if rumor_seeds.is_empty() {
+            return Err(LcrbError::NoRumorSeeds);
+        }
+        let seeds = SeedSets::rumors_only(&self.graph, rumor_seeds)?;
+        let rumor_seeds = seeds.rumors().to_vec();
+        for &s in &rumor_seeds {
+            let c = self.partition.community_of(s);
+            if c != self.rumor_community {
+                return Err(LcrbError::SeedOutsideCommunity {
+                    node: s,
+                    actual_community: c,
+                    rumor_community: self.rumor_community,
+                });
+            }
+        }
+        Ok(RumorBlockingInstance {
+            graph: self.graph.clone(),
+            snapshot: self.snapshot.clone(),
+            partition: self.partition.clone(),
+            rumor_community: self.rumor_community,
+            rumor_seeds,
+        })
+    }
+
     /// Builds the seed pair `(S_R, protectors)` for simulation.
     ///
     /// # Errors
@@ -281,6 +317,26 @@ mod tests {
         assert!(matches!(
             inst.seed_sets(vec![NodeId::new(0)]).unwrap_err(),
             LcrbError::Seeds(_)
+        ));
+    }
+
+    #[test]
+    fn with_rumor_seeds_revalidates_and_keeps_structure() {
+        let (g, p) = fixture();
+        let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).unwrap();
+        let reseeded = inst
+            .with_rumor_seeds(vec![NodeId::new(1), NodeId::new(2)])
+            .unwrap();
+        assert_eq!(reseeded.rumor_seeds(), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(reseeded.rumor_community(), inst.rumor_community());
+        assert_eq!(reseeded.graph().node_count(), inst.graph().node_count());
+        assert!(matches!(
+            inst.with_rumor_seeds(vec![]).unwrap_err(),
+            LcrbError::NoRumorSeeds
+        ));
+        assert!(matches!(
+            inst.with_rumor_seeds(vec![NodeId::new(4)]).unwrap_err(),
+            LcrbError::SeedOutsideCommunity { .. }
         ));
     }
 

@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 mod bridge;
+pub mod engine;
 mod error;
 pub mod evaluate;
 mod greedy;
@@ -68,6 +69,10 @@ mod sketch_objective;
 pub mod source;
 
 pub use bridge::{find_bridge_ends, BridgeEndRule, BridgeEnds};
+pub use engine::{
+    Algorithm, Budgeted, CacheCounters, CacheStats, Selector, SolveDetail, SolveReport,
+    SolveRequest, Solver, SolverConfig, StageTiming, StopRule,
+};
 pub use error::LcrbError;
 pub use greedy::{
     greedy_lcrb_p, greedy_with_budget, CandidatePool, Estimator, GreedyConfig, GreedySelection,
@@ -80,4 +85,4 @@ pub use heuristics::{
 pub use instance::RumorBlockingInstance;
 pub use objective::{ObjectiveModel, ProtectionObjective};
 pub use scbg::{scbg, scbg_weighted, ScbgConfig, ScbgSolution};
-pub use sketch_objective::{CoverageScratch, SketchObjective, SketchParams};
+pub use sketch_objective::{CoverageScratch, SketchIndex, SketchObjective, SketchParams};

@@ -213,7 +213,35 @@ impl<'a> ProtectionObjective<'a> {
         Ok(total as f64 / self.batch.len() as f64)
     }
 
+    /// `σ̂(protectors)` with *zero* per-query allocation: the seed
+    /// pair lives in `seeds` (built lazily on first use) and is
+    /// refilled in place via [`SeedSets::set_protectors`]. This is
+    /// the path the greedy's CELF loop drives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::Seeds`] if `protectors` is out of bounds
+    /// or overlaps the rumor seeds.
+    pub(crate) fn sigma_with_cached_seeds(
+        &self,
+        protectors: &[NodeId],
+        seeds: &mut Option<SeedSets>,
+        ws: &mut SimWorkspace,
+    ) -> Result<f64, LcrbError> {
+        let seeds = match seeds {
+            Some(s) => s,
+            // xtask-allow: hotpath -- lazy one-time seed-set construction; later calls refill in place
+            None => seeds.insert(self.instance.seed_sets(Vec::new())?),
+        };
+        seeds.set_protectors(self.instance.graph().node_count(), protectors)?;
+        let total: usize = (0..self.batch.len())
+            .map(|i| self.saved(i, seeds, ws))
+            .sum();
+        Ok(total as f64 / self.batch.len() as f64)
+    }
+
     fn seed_sets(&self, protectors: &[NodeId]) -> Result<SeedSets, LcrbError> {
+        // xtask-allow: bufclone -- one-off convenience entry; the CELF loop goes through sigma_with_cached_seeds
         self.instance.seed_sets(protectors.to_vec())
     }
 
@@ -341,6 +369,39 @@ mod tests {
             assert_eq!(
                 obj.sigma_with(protectors, &mut ws).unwrap(),
                 obj.sigma(protectors).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cached_seed_sigma_matches_sigma() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let (g, labels) =
+            generators::planted_partition(&[15, 15], 0.3, 0.05, false, &mut rng).unwrap();
+        let p = Partition::from_labels(labels);
+        let inst = RumorBlockingInstance::with_random_seeds(g, p, 0, 2, &mut rng).unwrap();
+        let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
+        let obj = ProtectionObjective::new(&inst, b.nodes.clone(), 16, 2, 31).unwrap();
+        let mut ws = SimWorkspace::new();
+        let mut seeds = None;
+        for k in 0..b.nodes.len().min(3) {
+            let protectors = &b.nodes[..k];
+            assert_eq!(
+                obj.sigma_with_cached_seeds(protectors, &mut seeds, &mut ws)
+                    .unwrap(),
+                obj.sigma(protectors).unwrap()
+            );
+        }
+        // Error paths leave the cached pair reusable.
+        let rumor = inst.rumor_seeds()[0];
+        assert!(obj
+            .sigma_with_cached_seeds(&[rumor], &mut seeds, &mut ws)
+            .is_err());
+        if !b.nodes.is_empty() {
+            assert_eq!(
+                obj.sigma_with_cached_seeds(&b.nodes[..1], &mut seeds, &mut ws)
+                    .unwrap(),
+                obj.sigma(&b.nodes[..1]).unwrap()
             );
         }
     }

@@ -25,6 +25,8 @@
 //! monotone and submodular per sketch, so CELF remains sound on the
 //! sketch objective.
 
+use std::sync::Arc;
+
 use lcrb_diffusion::{rr_sketch_into, OpoaoRealization, RrScratch, SketchBatch};
 use lcrb_graph::NodeId;
 
@@ -61,7 +63,35 @@ impl Default for SketchParams {
 }
 
 impl SketchParams {
-    fn validate(self) -> Result<(), LcrbError> {
+    /// Builds a validated parameter set with the default sketch-count
+    /// clamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::InvalidSketchParams`] unless both
+    /// `epsilon` and `delta` are in `(0, 1)`.
+    pub fn new(epsilon: f64, delta: f64) -> Result<Self, LcrbError> {
+        let params = SketchParams {
+            epsilon,
+            delta,
+            ..SketchParams::default()
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Checks that both probabilities are in `(0, 1)` and the
+    /// sketch-count clamps are a non-empty window.
+    ///
+    /// Construction-time entry points ([`SketchParams::new`],
+    /// [`SketchIndex::build`]) call this themselves; it is public so
+    /// request builders can fail fast before any sampling work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::InvalidSketchParams`] naming the first
+    /// violated constraint.
+    pub fn validate(self) -> Result<(), LcrbError> {
         let prob = |x: f64| x.is_finite() && x > 0.0 && x < 1.0;
         if !prob(self.epsilon) {
             return Err(LcrbError::InvalidSketchParams {
@@ -102,7 +132,7 @@ impl SketchParams {
 }
 
 #[inline]
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -110,7 +140,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 #[inline]
-fn mix(master: u64, stream: u64) -> u64 {
+pub(crate) fn mix(master: u64, stream: u64) -> u64 {
     splitmix64(master ^ splitmix64(stream))
 }
 
@@ -143,12 +173,58 @@ impl CoverageScratch {
     }
 }
 
+/// The owned product of the RR-sketch sampling pass: bridge ends,
+/// sketch counts, and the inverted node → sketch coverage index.
+///
+/// This is the expensive, *reusable* artifact of the sketch
+/// estimator. It depends only on the instance, the bridge ends, the
+/// `(ε, δ)` schedule, the master seed, and the hop budget — not on
+/// any budget or α — so a session engine can build it once and share
+/// it (behind an [`Arc`]) across every solve at the same accuracy.
+/// [`SketchObjective::from_index`] re-attaches it to the instance for
+/// querying.
+#[derive(Clone, Debug)]
+pub struct SketchIndex {
+    bridge_ends: Vec<NodeId>,
+    /// θ: total sketches drawn (stored + always-saved).
+    total: u64,
+    always_saved: u64,
+    set_count: usize,
+    /// Inverted node → sketch-id index, CSR layout over all nodes.
+    index_offsets: Vec<u32>,
+    index_ids: Vec<u32>,
+}
+
+impl SketchIndex {
+    /// The bridge ends the sample was drawn over.
+    #[must_use]
+    pub fn bridge_ends(&self) -> &[NodeId] {
+        &self.bridge_ends
+    }
+
+    /// θ: total sketches drawn by the schedule (stored +
+    /// always-saved).
+    #[must_use]
+    pub fn sketch_count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sketches whose target the rumor never reaches within the hop
+    /// budget (saved under every protector set).
+    #[must_use]
+    pub fn always_saved(&self) -> u64 {
+        self.always_saved
+    }
+}
+
 /// A reusable sketch-backed evaluator of `σ̂` (weighted max-coverage
 /// over RR sketches).
 ///
-/// Built once per greedy run via [`SketchObjective::build`]; queries
-/// through [`SketchObjective::sigma_with`] touch only the inverted
-/// index — no diffusion simulation.
+/// Built once per greedy run via [`SketchObjective::build`] — or
+/// re-attached to a cached [`SketchIndex`] via
+/// [`SketchObjective::from_index`]; queries through
+/// [`SketchObjective::sigma_with`] touch only the inverted index — no
+/// diffusion simulation.
 ///
 /// # Examples
 ///
@@ -172,17 +248,10 @@ impl CoverageScratch {
 #[derive(Debug)]
 pub struct SketchObjective<'a> {
     instance: &'a RumorBlockingInstance,
-    bridge_ends: Vec<NodeId>,
-    /// θ: total sketches drawn (stored + always-saved).
-    total: u64,
-    always_saved: u64,
-    set_count: usize,
-    /// Inverted node → sketch-id index, CSR layout over all nodes.
-    index_offsets: Vec<u32>,
-    index_ids: Vec<u32>,
+    index: Arc<SketchIndex>,
 }
 
-impl<'a> SketchObjective<'a> {
+impl SketchIndex {
     /// Samples RR sketches for `bridge_ends` under the adaptive
     /// `(ε, δ)` schedule and builds the inverted coverage index.
     ///
@@ -195,7 +264,7 @@ impl<'a> SketchObjective<'a> {
     /// Returns [`LcrbError::InvalidSketchParams`] if `params` is out
     /// of range.
     pub fn build(
-        instance: &'a RumorBlockingInstance,
+        instance: &RumorBlockingInstance,
         bridge_ends: Vec<NodeId>,
         params: SketchParams,
         master_seed: u64,
@@ -283,8 +352,7 @@ impl<'a> SketchObjective<'a> {
             }
         }
 
-        Ok(SketchObjective {
-            instance,
+        Ok(SketchIndex {
             bridge_ends,
             total: batch.total(),
             always_saved: batch.always_saved(),
@@ -293,25 +361,63 @@ impl<'a> SketchObjective<'a> {
             index_ids,
         })
     }
+}
+
+impl<'a> SketchObjective<'a> {
+    /// Samples RR sketches for `bridge_ends` under the adaptive
+    /// `(ε, δ)` schedule and builds the inverted coverage index — a
+    /// one-shot [`SketchIndex::build`] plus [`SketchObjective::from_index`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcrbError::InvalidSketchParams`] if `params` is out
+    /// of range.
+    pub fn build(
+        instance: &'a RumorBlockingInstance,
+        bridge_ends: Vec<NodeId>,
+        params: SketchParams,
+        master_seed: u64,
+        max_hops: u32,
+    ) -> Result<Self, LcrbError> {
+        let index = SketchIndex::build(instance, bridge_ends, params, master_seed, max_hops)?;
+        Ok(SketchObjective::from_index(instance, Arc::new(index)))
+    }
+
+    /// Attaches a previously built (possibly cached) [`SketchIndex`]
+    /// to `instance` for querying.
+    ///
+    /// The caller is responsible for pairing the index with the
+    /// instance it was sampled against — the session engine keys its
+    /// cache by snapshot epoch for exactly this reason.
+    #[must_use]
+    pub fn from_index(instance: &'a RumorBlockingInstance, index: Arc<SketchIndex>) -> Self {
+        SketchObjective { instance, index }
+    }
+
+    /// The shared sampling artifact backing this objective.
+    #[must_use]
+    pub fn index(&self) -> &Arc<SketchIndex> {
+        &self.index
+    }
 
     /// The bridge ends the objective counts over.
     #[must_use]
     pub fn bridge_ends(&self) -> &[NodeId] {
-        &self.bridge_ends
+        self.index.bridge_ends()
     }
 
     /// θ: total sketches drawn by the schedule (stored +
     /// always-saved).
     #[must_use]
     pub fn sketch_count(&self) -> u64 {
-        self.total
+        self.index.sketch_count()
     }
 
     /// Sketches whose target the rumor never reaches within the hop
     /// budget (saved under every protector set).
     #[must_use]
     pub fn always_saved(&self) -> u64 {
-        self.always_saved
+        self.index.always_saved()
     }
 
     /// `σ̂(protectors)` — one-off convenience around
@@ -350,17 +456,19 @@ impl<'a> SketchObjective<'a> {
         {
             // Delegate to the canonical validator so the error value
             // matches the Monte-Carlo objective exactly.
+            // xtask-allow: bufclone -- cold error path only: valid protector sets never reach this copy
             self.instance.seed_sets(protectors.to_vec())?;
         }
-        if self.total == 0 {
+        let index = &*self.index;
+        if index.total == 0 {
             return Ok(0.0);
         }
-        let epoch = scratch.begin(self.set_count);
+        let epoch = scratch.begin(index.set_count);
         let mut covered = 0u64;
         for &p in protectors {
-            let lo = self.index_offsets[p.index()] as usize;
-            let hi = self.index_offsets[p.index() + 1] as usize;
-            for &id in &self.index_ids[lo..hi] {
+            let lo = index.index_offsets[p.index()] as usize;
+            let hi = index.index_offsets[p.index() + 1] as usize;
+            for &id in &index.index_ids[lo..hi] {
                 if scratch.stamp[id as usize] != epoch {
                     scratch.stamp[id as usize] = epoch;
                     covered += 1;
@@ -368,8 +476,8 @@ impl<'a> SketchObjective<'a> {
             }
         }
         Ok(
-            self.bridge_ends.len() as f64 * (self.always_saved + covered) as f64
-                / self.total as f64,
+            index.bridge_ends.len() as f64 * (index.always_saved + covered) as f64
+                / index.total as f64,
         )
     }
 }
@@ -413,6 +521,14 @@ mod tests {
                 ..SketchParams::default()
             },
             SketchParams {
+                delta: 0.0,
+                ..SketchParams::default()
+            },
+            SketchParams {
+                delta: 1.0,
+                ..SketchParams::default()
+            },
+            SketchParams {
                 min_sketches: 0,
                 ..SketchParams::default()
             },
@@ -427,6 +543,52 @@ mod tests {
                 LcrbError::InvalidSketchParams { .. }
             ));
         }
+    }
+
+    #[test]
+    fn params_constructor_validates_probability_edges() {
+        for (epsilon, delta) in [
+            (0.0, 0.05),
+            (1.0, 0.05),
+            (-0.1, 0.05),
+            (f64::NAN, 0.05),
+            (0.1, 0.0),
+            (0.1, 1.0),
+            (0.1, -0.2),
+            (0.1, f64::INFINITY),
+        ] {
+            assert!(
+                matches!(
+                    SketchParams::new(epsilon, delta).unwrap_err(),
+                    LcrbError::InvalidSketchParams { .. }
+                ),
+                "({epsilon}, {delta}) should be rejected"
+            );
+        }
+        let ok = SketchParams::new(0.2, 0.1).unwrap();
+        assert_eq!((ok.epsilon, ok.delta), (0.2, 0.1));
+        assert_eq!(ok.min_sketches, SketchParams::default().min_sketches);
+        assert_eq!(ok.max_sketches, SketchParams::default().max_sketches);
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn shared_index_answers_like_a_fresh_build() {
+        let inst = community_instance(21);
+        let b = crate::find_bridge_ends(&inst, crate::BridgeEndRule::WithinCommunity);
+        let index = Arc::new(
+            SketchIndex::build(&inst, b.nodes.clone(), SketchParams::default(), 5, 31).unwrap(),
+        );
+        let fresh =
+            SketchObjective::build(&inst, b.nodes.clone(), SketchParams::default(), 5, 31).unwrap();
+        let shared = SketchObjective::from_index(&inst, Arc::clone(&index));
+        let shared_again = SketchObjective::from_index(&inst, Arc::clone(&index));
+        for k in 0..b.nodes.len().min(3) {
+            let set = &b.nodes[..k];
+            assert_eq!(fresh.sigma(set).unwrap(), shared.sigma(set).unwrap());
+            assert_eq!(shared.sigma(set).unwrap(), shared_again.sigma(set).unwrap());
+        }
+        assert_eq!(fresh.sketch_count(), index.sketch_count());
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod model;
 mod montecarlo;
 mod opoao;
 mod outcome;
+mod pool;
 mod realization;
 mod seeds;
 mod sis;
@@ -79,6 +80,7 @@ pub use model::TwoCascadeModel;
 pub use montecarlo::{monte_carlo, monte_carlo_csr, AveragedOutcome, MonteCarloConfig};
 pub use opoao::{OpoaoModel, PAPER_OPOAO_HOPS};
 pub use outcome::{DiffusionOutcome, HopRecord, Status};
+pub use pool::ScratchPool;
 pub use realization::OpoaoRealization;
 pub use seeds::{SeedError, SeedSets};
 pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};

@@ -1,0 +1,108 @@
+//! Workspace lending: a free-list pool for reusable scratch values.
+//!
+//! Every estimator in this workspace follows the caller-owned-scratch
+//! pattern (`SimWorkspace`, `RrScratch`, coverage stamps): the caller
+//! allocates once and threads the scratch through every query. A
+//! session engine that answers many queries against one snapshot
+//! needs somewhere to park those scratches between solves so warm
+//! queries reuse the grown buffers instead of re-allocating them.
+//! [`ScratchPool`] is that place: a LIFO free list that lends values
+//! out by move and takes them back when the caller is done.
+//!
+//! LIFO order deliberately hands back the most recently used value —
+//! the one whose buffers are hot in cache and already sized to the
+//! instance.
+
+use core::fmt;
+
+/// A LIFO free list of reusable scratch values.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_diffusion::{ScratchPool, SimWorkspace};
+///
+/// let mut pool: ScratchPool<SimWorkspace> = ScratchPool::new();
+/// let ws = pool.lend(); // fresh: pool was empty
+/// pool.restore(ws);
+/// assert_eq!(pool.pooled(), 1);
+/// let _again = pool.lend(); // the same grown workspace comes back
+/// assert_eq!(pool.pooled(), 0);
+/// ```
+pub struct ScratchPool<T> {
+    free: Vec<T>,
+}
+
+impl<T> fmt::Debug for ScratchPool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("pooled", &self.free.len())
+            .finish()
+    }
+}
+
+impl<T> Default for ScratchPool<T> {
+    fn default() -> Self {
+        ScratchPool { free: Vec::new() }
+    }
+}
+
+impl<T> ScratchPool<T> {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Number of values currently parked in the pool.
+    #[must_use]
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Returns a parked value to the pool for the next lender.
+    pub fn restore(&mut self, value: T) {
+        self.free.push(value);
+    }
+
+    /// Drops every parked value — the pool's invalidation hook for
+    /// when the instance the scratches were sized against changes.
+    pub fn clear(&mut self) {
+        self.free.clear();
+    }
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// Lends a value out by move: the most recently restored one if
+    /// the pool is non-empty, otherwise `T::default()`.
+    #[must_use]
+    pub fn lend(&mut self) -> T {
+        self.free.pop().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lend_is_lifo_and_falls_back_to_default() {
+        let mut pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        assert_eq!(pool.lend(), Vec::<u32>::new());
+        pool.restore(vec![1]);
+        pool.restore(vec![2]);
+        assert_eq!(pool.pooled(), 2);
+        assert_eq!(pool.lend(), vec![2]);
+        assert_eq!(pool.lend(), vec![1]);
+        assert_eq!(pool.lend(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn clear_drops_parked_values() {
+        let mut pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        pool.restore(vec![1, 2, 3]);
+        pool.clear();
+        assert_eq!(pool.pooled(), 0);
+        assert!(pool.lend().is_empty());
+    }
+}

@@ -134,6 +134,45 @@ impl SeedSets {
         SeedSets::new(graph, self.rumors.clone(), protectors)
     }
 
+    /// Replaces the protector set in place, reusing the existing
+    /// allocation — the hot-path counterpart of
+    /// [`SeedSets::with_protectors`] for per-query `σ̂` evaluation
+    /// loops that must not allocate at steady state.
+    ///
+    /// Validation matches [`SeedSets::new`]: bounds first (checked in
+    /// order while deduplicating, quadratically — protector sets are
+    /// small), then overlap against the kept rumors. On error the
+    /// protector set is left empty, which is always a valid state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeedError::OutOfBounds`] for unknown nodes and
+    /// [`SeedError::Overlap`] if a protector is also a rumor seed.
+    pub fn set_protectors(
+        &mut self,
+        node_count: usize,
+        protectors: &[NodeId],
+    ) -> Result<(), SeedError> {
+        self.protectors.clear();
+        for &v in protectors {
+            if v.index() >= node_count {
+                self.protectors.clear();
+                return Err(SeedError::OutOfBounds {
+                    node: v,
+                    node_count,
+                });
+            }
+            if !self.protectors.contains(&v) {
+                self.protectors.push(v);
+            }
+        }
+        if let Some(&p) = self.protectors.iter().find(|p| self.rumors.contains(*p)) {
+            self.protectors.clear();
+            return Err(SeedError::Overlap { node: p });
+        }
+        Ok(())
+    }
+
     /// The rumor originators `S_R`, deduplicated.
     #[inline]
     #[must_use]
@@ -207,6 +246,49 @@ mod tests {
         assert_eq!(s2.protectors(), &[NodeId::new(4)]);
         // Replacing with an overlapping set fails.
         assert!(s.with_protectors(&g, vec![NodeId::new(0)]).is_err());
+    }
+
+    #[test]
+    fn set_protectors_matches_with_protectors() {
+        let g = graph();
+        let s = SeedSets::rumors_only(&g, vec![NodeId::new(0)]).unwrap();
+        let mut reused = s.clone();
+        for set in [
+            vec![NodeId::new(4)],
+            vec![NodeId::new(3), NodeId::new(3), NodeId::new(2)],
+            vec![],
+        ] {
+            reused.set_protectors(g.node_count(), &set).unwrap();
+            let fresh = s.with_protectors(&g, set).unwrap();
+            assert_eq!(reused, fresh);
+        }
+        // Errors mirror the constructor and leave the set empty.
+        assert_eq!(
+            reused
+                .set_protectors(g.node_count(), &[NodeId::new(9)])
+                .unwrap_err(),
+            SeedError::OutOfBounds {
+                node: NodeId::new(9),
+                node_count: g.node_count()
+            }
+        );
+        assert!(reused.protectors().is_empty());
+        assert_eq!(
+            reused
+                .set_protectors(g.node_count(), &[NodeId::new(0)])
+                .unwrap_err(),
+            SeedError::Overlap {
+                node: NodeId::new(0)
+            }
+        );
+        assert!(reused.protectors().is_empty());
+        // Bounds take precedence over overlap, like `new`.
+        assert!(matches!(
+            reused
+                .set_protectors(g.node_count(), &[NodeId::new(0), NodeId::new(9)])
+                .unwrap_err(),
+            SeedError::OutOfBounds { .. }
+        ));
     }
 
     #[test]

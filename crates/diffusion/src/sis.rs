@@ -230,6 +230,7 @@ impl CompetitiveSisModel {
             });
         }
         SisOutcome {
+            // xtask-allow: bufclone -- one copy per run to materialize the outcome; the step loop above mutates in place
             final_states: ws.sis_state.clone(),
             trace,
         }

@@ -1,7 +1,7 @@
 //! The lint rules: scoping, test-code stripping, rule checks, and
 //! `xtask-allow` pragma application.
 //!
-//! Five rule families guard the invariants the paper reproduction
+//! Six rule families guard the invariants the paper reproduction
 //! depends on (see DESIGN.md §"Static analysis layer"):
 //!
 //! - `determinism` — the LCRB-P greedy is only (1 − 1/e)-approximate
@@ -19,6 +19,11 @@
 //!   allocates a fresh container per iteration, the steady-state
 //!   allocation the workspace pattern exists to avoid; hoist the
 //!   buffer out of the loop (clear-and-refill) or justify it.
+//! - `bufclone` — a `.clone()` / `.to_vec()` in a hot module copies a
+//!   whole buffer; the workspace pattern exists so kernels borrow or
+//!   swap instead of copying. Result-materialization copies at query
+//!   boundaries are fine, but each carries an `xtask-allow` so the
+//!   copy is a documented decision rather than an accident.
 //! - `attributes` — every crate root carries the standard prelude
 //!   (`forbid(unsafe_code)`, `deny(missing_docs)`,
 //!   `warn(missing_debug_implementations)`).
@@ -28,12 +33,13 @@ use std::collections::BTreeSet;
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
 /// Rule identifiers accepted by `xtask-allow` pragmas.
-pub const KNOWN_RULES: [&str; 6] = [
+pub const KNOWN_RULES: [&str; 7] = [
     "determinism",
     "panic",
     "index",
     "hotpath",
     "collect",
+    "bufclone",
     "attributes",
 ];
 
@@ -194,6 +200,7 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
     if class.hot {
         check_hotpath(&code, rel_path, &mut raw);
         check_collect(&code, rel_path, &mut raw);
+        check_bufclone(&code, rel_path, &mut raw);
     }
     if class.attributes_root {
         check_attributes(&lexed.tokens, rel_path, &mut raw);
@@ -529,6 +536,43 @@ fn check_collect(code: &[Token], file: &str, out: &mut Vec<Violation>) {
                 }
             }
             _ => {}
+        }
+    }
+}
+
+/// Flags `receiver.clone()` / `receiver.to_vec()` method calls in a
+/// hot module: each one copies a whole buffer, the steady-state
+/// allocation the workspace pattern exists to avoid.
+///
+/// The check is lexical: a `.clone(` / `.to_vec(` whose receiver is
+/// an identifier, a `)` (call result), or a `]` (index/slice
+/// expression). Path calls like `Arc::clone(&x)` are deliberately not
+/// matched — those are pointer bumps, not buffer copies — and
+/// `#[derive(Clone)]` never forms a method call.
+fn check_bufclone(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if !(t.is_ident("clone") || t.is_ident("to_vec")) || i < 2 {
+            continue;
+        }
+        if !code[i - 1].is_punct('.') || !code.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+            continue;
+        }
+        let recv = &code[i - 2];
+        let is_value_receiver = match recv.kind {
+            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&recv.text.as_str()),
+            TokKind::Punct => recv.is_punct(')') || recv.is_punct(']'),
+            _ => false,
+        };
+        if is_value_receiver {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "bufclone".to_owned(),
+                message: format!(
+                    "`.{}()` copies a buffer in a hot module; borrow, `mem::take`/`swap`, or reuse a workspace buffer — or justify with `// xtask-allow: bufclone -- <why>`",
+                    t.text
+                ),
+            });
         }
     }
 }

@@ -320,6 +320,64 @@ fn f(groups: &[Group]) -> usize {
     assert_clean(HOT, src);
 }
 
+// ------------------------------------------------------------------- bufclone
+
+#[test]
+fn bufclone_flags_buffer_copies_in_hot_modules() {
+    let src = r#"
+fn f(xs: &Buffers) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let a = xs.order.clone();
+    let b = xs.order[..4].to_vec();
+    let c = make_order(xs).clone();
+    (a, b, c)
+}
+"#;
+    assert_rule(HOT, src, "bufclone", 3);
+}
+
+#[test]
+fn bufclone_ignores_path_calls_cold_modules_and_tests() {
+    // `Arc::clone` is a pointer bump, not a buffer copy; derives and
+    // doc comments never form method calls.
+    let src = r#"
+/// Call `.clone()` freely in docs.
+#[derive(Clone)]
+struct S {
+    shared: Arc<Index>,
+}
+fn f(s: &S) -> Arc<Index> {
+    Arc::clone(&s.shared)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let copied = fixture().order.clone();
+    }
+}
+"#;
+    assert_rule(HOT, src, "bufclone", 0);
+    // The same copy that is flagged in a hot module is fine elsewhere.
+    assert_rule(
+        COLD,
+        "fn g(xs: &State) -> Vec<u32> { xs.order.clone() }",
+        "bufclone",
+        0,
+    );
+}
+
+#[test]
+fn bufclone_allow_marks_result_materialization() {
+    let src = r#"
+fn f(traj: &Trajectory, len: usize) -> Vec<u32> {
+    // xtask-allow: bufclone -- per-solve result materialization at the query boundary
+    traj.selected[..len].to_vec()
+}
+"#;
+    assert_clean(HOT, src);
+}
+
 // ----------------------------------------------------------------- attributes
 
 #[test]

@@ -1,15 +1,19 @@
 //! How much protection does each additional protector buy?
 //!
 //! ```text
-//! cargo run --release --example protection_budget [mc|sketch]
+//! cargo run --release --example protection_budget [--estimator mc|sketch]
 //! ```
 //!
-//! Runs the LCRB-P greedy (Algorithm 1, with CELF) in budget mode and
-//! prints the marginal value of every pick — the diminishing-returns
-//! curve that Theorem 1's submodularity guarantees — then solves the
-//! α-target variants the problem definition asks for.
+//! Opens a [`Solver`] session, runs the LCRB-P greedy (Algorithm 1,
+//! with CELF) in budget mode, and prints the marginal value of every
+//! pick — the diminishing-returns curve that Theorem 1's
+//! submodularity guarantees — then solves the α-target variants the
+//! problem definition asks for. Because every query goes through the
+//! same session, the α solves reuse the bridge ends, the estimator
+//! state, and the CELF trajectory the budget sweep already paid for;
+//! the cache counters printed at the end show the reuse.
 //!
-//! The optional argument picks the σ̂ estimator behind the greedy:
+//! The `--estimator` flag picks the σ̂ estimator behind the greedy:
 //! `mc` (default) evaluates protector sets on fixed Monte-Carlo
 //! realizations; `sketch` switches to the RR-sketch estimator, which
 //! trades a one-time sampling pass for much cheaper per-set queries.
@@ -18,14 +22,30 @@ use lcrb_repro::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let estimator = match std::env::args().nth(1).as_deref() {
-        None | Some("mc") => Estimator::MonteCarlo,
-        Some("sketch") => Estimator::Sketch(SketchParams::default()),
-        Some(other) => {
-            return Err(format!("unknown estimator {other:?} (expected mc or sketch)").into())
-        }
+fn parse_estimator() -> Result<Estimator, String> {
+    let mut args = std::env::args().skip(1);
+    let value = match args.next().as_deref() {
+        None => None,
+        Some("--estimator") => match args.next() {
+            Some(v) => Some(v),
+            None => return Err("--estimator needs a value (mc or sketch)".to_owned()),
+        },
+        Some(flag) => match flag.strip_prefix("--estimator=") {
+            Some(v) => Some(v.to_owned()),
+            None => return Err(format!("unknown argument {flag:?} (expected --estimator)")),
+        },
     };
+    match value.as_deref() {
+        None | Some("mc") => Ok(Estimator::MonteCarlo),
+        Some("sketch") => Ok(Estimator::Sketch(SketchParams::default())),
+        Some(other) => Err(format!(
+            "unknown estimator {other:?} (expected mc or sketch)"
+        )),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let estimator = parse_estimator()?;
     println!(
         "estimator: {}",
         match estimator {
@@ -44,24 +64,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
 
-    let config = GreedyConfig {
+    let mut solver = Solver::with_config(instance, SolverConfig { master_seed: 9 });
+    let base = SolveRequest {
         realizations: 32,
         candidates: CandidatePool::BackwardRadius(2),
-        master_seed: 9,
         estimator,
-        ..GreedyConfig::default()
+        ..SolveRequest::greedy_budget(0)
     };
 
     // Budget sweep: watch σ̂ climb with diminishing returns.
     let budget = 12;
-    let selection = greedy_with_budget(&instance, budget, &config)?;
+    let report = solver.solve(&base.with_stop(StopRule::Budget(budget)))?;
+    let SolveDetail::Greedy(selection) = &report.detail else {
+        unreachable!("a greedy request carries a greedy detail");
+    };
     let total_bridges = selection.bridge_ends.len() as f64;
     println!(
         "{} bridge ends; σ̂ after each greedy pick (expected bridge ends kept safe):",
         selection.bridge_ends.len()
     );
     let mut previous = 0.0;
-    for (i, (&node, &sigma)) in selection
+    for (i, (&node, &sigma)) in report
         .protectors
         .iter()
         .zip(&selection.sigma_history)
@@ -82,16 +105,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         selection.evaluations
     );
 
-    // α-target mode: the LCRB-P problem statement.
+    // α-target mode: the LCRB-P problem statement. Each solve resumes
+    // the session's cached trajectory instead of starting cold.
     for alpha in [0.5, 0.8, 0.95] {
-        let sel = greedy_lcrb_p(&instance, &GreedyConfig { alpha, ..config })?;
+        let report = solver.solve(&base.with_stop(StopRule::Alpha(alpha)))?;
+        let SolveDetail::Greedy(sel) = &report.detail else {
+            unreachable!("a greedy request carries a greedy detail");
+        };
         println!(
-            "alpha = {alpha:4.2}: target σ̂ >= {:6.2} -> {} protectors, achieved {:6.2} ({})",
+            "alpha = {alpha:4.2}: target σ̂ >= {:6.2} -> {} protectors, achieved {:6.2} ({}; {} new σ̂ evaluations, {} cache hits)",
             sel.target,
-            sel.protectors.len(),
+            report.protectors.len(),
             sel.achieved,
-            if sel.target_met { "met" } else { "NOT met" }
+            if sel.target_met { "met" } else { "NOT met" },
+            sel.evaluations,
+            report.cache_hits(),
         );
     }
+    let stats = solver.cache_stats();
+    println!(
+        "\nsession cache: {} hits / {} misses across {} solves",
+        stats.hits(),
+        stats.misses(),
+        4
+    );
     Ok(())
 }

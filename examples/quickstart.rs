@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Builds a two-community directed graph, starts a rumor in one
-//! community, finds the bridge ends, solves LCRB-D with SCBG, and
-//! verifies with a DOAM simulation that the rumor never escapes.
+//! community, opens a [`Solver`] session, solves LCRB-D with SCBG,
+//! and verifies with a DOAM simulation that the rumor never escapes.
 
 use lcrb_repro::prelude::*;
 
@@ -38,29 +38,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let partition = Partition::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]);
 
-    // A rumor starts at node 0.
+    // A rumor starts at node 0; a solver session owns the instance
+    // and caches the artifacts every query shares.
     let instance = RumorBlockingInstance::new(g, partition, 0, vec![NodeId::new(0)])?;
+    let mut solver = Solver::new(instance);
 
     // Stage 1 of both algorithms: find the bridge ends.
-    let bridges = find_bridge_ends(&instance, BridgeEndRule::WithinCommunity);
+    let bridges = find_bridge_ends(solver.instance(), BridgeEndRule::WithinCommunity);
     println!("bridge ends: {:?}", bridges.nodes);
 
     // Stage 2 (LCRB-D): SCBG picks the least-cost protector set.
-    let solution = scbg(&instance, &ScbgConfig::default());
+    let report = solver.solve(&SolveRequest::scbg())?;
+    let SolveDetail::Scbg(solution) = &report.detail else {
+        unreachable!("an SCBG request carries an SCBG detail");
+    };
     println!(
         "scbg selected {} protector(s): {:?} (candidate pool {})",
-        solution.protectors.len(),
-        solution.protectors,
+        report.protectors.len(),
+        report.protectors,
         solution.candidate_count
     );
     assert!(solution.is_complete());
 
     // Verify: simulate DOAM with and without protection.
+    let instance = solver.instance();
     let unprotected =
         DoamModel::default().run_deterministic(instance.graph(), &instance.seed_sets(vec![])?);
     let protected = DoamModel::default().run_deterministic(
         instance.graph(),
-        &instance.seed_sets(solution.protectors.clone())?,
+        &instance.seed_sets(report.protectors.clone())?,
     );
     println!(
         "infected without protection: {} / {}",

@@ -40,13 +40,18 @@
 //!     &mut rng,
 //! )?;
 //!
-//! // 3. SCBG picks the least-cost protector set...
-//! let solution = scbg(&instance, &ScbgConfig::default());
+//! // 3. A solver session answers queries with cached artifacts:
+//! //    SCBG picks the least-cost protector set...
+//! let mut solver = Solver::new(instance);
+//! let report = solver.solve(&SolveRequest::scbg())?;
+//! let SolveDetail::Scbg(solution) = &report.detail else {
+//!     unreachable!("an SCBG request carries an SCBG detail");
+//! };
 //! assert!(solution.is_complete());
 //!
 //! // 4. ...and the DOAM simulation certifies containment.
-//! let seeds = instance.seed_sets(solution.protectors.clone())?;
-//! let outcome = DoamModel::default().run_deterministic(instance.graph(), &seeds);
+//! let seeds = solver.instance().seed_sets(report.protectors.clone())?;
+//! let outcome = DoamModel::default().run_deterministic(solver.instance().graph(), &seeds);
 //! for v in &solution.bridge_ends.nodes {
 //!     assert!(!outcome.status(*v).is_infected());
 //! }
@@ -69,10 +74,11 @@ pub use lcrb;
 pub mod prelude {
     pub use lcrb::{
         find_bridge_ends, greedy_lcrb_p, greedy_viral_stopper, greedy_with_budget, scbg,
-        scbg_weighted, BridgeEndRule, CandidatePool, Estimator, GreedyConfig, GvsConfig, LcrbError,
-        MaxDegreeSelector, NoBlockingSelector, ObjectiveModel, PageRankSelector, ProtectorSelector,
-        ProximitySelector, RandomSelector, RumorBlockingInstance, ScbgConfig, SketchObjective,
-        SketchParams,
+        scbg_weighted, Algorithm, BridgeEndRule, Budgeted, CandidatePool, Estimator, GreedyConfig,
+        GvsConfig, LcrbError, MaxDegreeSelector, NoBlockingSelector, ObjectiveModel,
+        PageRankSelector, ProtectorSelector, ProximitySelector, RandomSelector,
+        RumorBlockingInstance, ScbgConfig, Selector, SketchIndex, SketchObjective, SketchParams,
+        SolveDetail, SolveReport, SolveRequest, Solver, SolverConfig, StopRule,
     };
     pub use lcrb_community::{louvain, LouvainConfig, Partition};
     pub use lcrb_datasets::{enron_like, hep_like, DatasetConfig};

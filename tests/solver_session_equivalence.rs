@@ -1,0 +1,133 @@
+//! Property harness for the `Solver` session cache: a warm re-solve
+//! must be *bitwise* identical to a cold solve on a fresh session.
+//!
+//! The engine's contract (DESIGN.md §10) is that the epoch-keyed
+//! artifact cache is a pure memoization layer — the bridge set, the
+//! RR-sketch index, and the resumable CELF trajectory may only change
+//! *when* work happens, never *what* is selected. These properties
+//! pin that across randomized instances:
+//!
+//! 1. asking the same request twice returns the identical report
+//!    payload (pure replay);
+//! 2. a budget-changed request on a warm session (sketch index and
+//!    trajectory reused, trajectory extended) matches the cold solve
+//!    of that budget on a fresh session;
+//! 3. both hold at every thread count in {1, 2, 7} — the parallel
+//!    gain sweep partitions work but never reorders results.
+//!
+//! "Bitwise" means protector identity **and** the `f64` σ̂ history
+//! compared via `to_bits` — no tolerance.
+
+use lcrb_repro::graph::generators;
+use lcrb_repro::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// A small two-community instance; every case draws its own topology
+/// and rumor placement from `seed`.
+fn instance(seed: u64) -> RumorBlockingInstance {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (g, labels) = generators::planted_partition(&[30, 30], 0.25, 0.05, false, &mut rng)
+        .expect("community sizes are positive");
+    let partition = Partition::from_labels(labels);
+    RumorBlockingInstance::with_random_seeds(g, partition, 0, 2, &mut rng)
+        .expect("pinned community is non-empty")
+}
+
+fn request(budget: usize, threads: usize, estimator: Estimator) -> SolveRequest {
+    SolveRequest {
+        realizations: 8,
+        candidates: CandidatePool::BackwardRadius(2),
+        estimator,
+        threads,
+        ..SolveRequest::greedy_budget(budget)
+    }
+}
+
+fn session(seed: u64) -> Solver {
+    Solver::with_config(instance(seed), SolverConfig { master_seed: 5 })
+}
+
+/// Everything a greedy solve decides, with σ̂ values as raw bits.
+fn fingerprint(report: &SolveReport) -> (Vec<NodeId>, Vec<u64>) {
+    let SolveDetail::Greedy(sel) = &report.detail else {
+        panic!("greedy requests carry greedy details");
+    };
+    (
+        report.protectors.clone(),
+        sel.sigma_history.iter().map(|s| s.to_bits()).collect(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn same_request_twice_replays_bitwise(
+        seed in 0u64..512,
+        budget in 1usize..5,
+        ti in 0usize..3,
+    ) {
+        let threads = THREADS[ti];
+        let est = Estimator::Sketch(SketchParams::default());
+        let mut solver = session(seed);
+        let first = solver.solve(&request(budget, threads, est)).expect("valid request");
+        let second = solver.solve(&request(budget, threads, est)).expect("valid request");
+        prop_assert_eq!(fingerprint(&first), fingerprint(&second));
+        // The replay touched no new artifacts: every lookup hit.
+        prop_assert_eq!(second.cache_misses(), 0);
+        prop_assert!(second.cache_hits() > 0);
+    }
+
+    #[test]
+    fn budget_changed_warm_resolve_matches_cold(
+        seed in 0u64..512,
+        small in 1usize..4,
+        extra in 1usize..4,
+        ti in 0usize..3,
+    ) {
+        let threads = THREADS[ti];
+        let est = Estimator::Sketch(SketchParams::default());
+        let large = small + extra;
+
+        let mut cold = session(seed);
+        let cold_report = cold.solve(&request(large, threads, est)).expect("valid request");
+
+        let mut warm = session(seed);
+        warm.solve(&request(small, threads, est)).expect("valid request");
+        let warm_report = warm.solve(&request(large, threads, est)).expect("valid request");
+
+        // The sketch index and bridge set were reused, the trajectory
+        // extended — and the answer is still bit-for-bit the cold one.
+        prop_assert!(warm_report.cache_hits() > 0);
+        prop_assert_eq!(fingerprint(&cold_report), fingerprint(&warm_report));
+
+        // Shrinking back to the small budget replays the prefix the
+        // warm session already served before the extension.
+        let shrunk = warm.solve(&request(small, threads, est)).expect("valid request");
+        let mut fresh = session(seed);
+        let fresh_small = fresh.solve(&request(small, threads, est)).expect("valid request");
+        prop_assert_eq!(fingerprint(&shrunk), fingerprint(&fresh_small));
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_answer(
+        seed in 0u64..512,
+        budget in 1usize..5,
+    ) {
+        let est = Estimator::Sketch(SketchParams::default());
+        let mut base = session(seed);
+        let reference = base.solve(&request(budget, 1, est)).expect("valid request");
+        for threads in [2usize, 7] {
+            let mut solver = session(seed);
+            let report = solver.solve(&request(budget, threads, est)).expect("valid request");
+            prop_assert_eq!(fingerprint(&reference), fingerprint(&report));
+        }
+        // A warm session serves a thread-count-changed ask from the
+        // cache (the CELF key excludes `threads`) — still identical.
+        let warm = base.solve(&request(budget, 7, est)).expect("valid request");
+        prop_assert_eq!(fingerprint(&reference), fingerprint(&warm));
+        prop_assert_eq!(warm.cache_misses(), 0);
+    }
+}
