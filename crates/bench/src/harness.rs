@@ -243,7 +243,7 @@ pub fn run_opoao_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult 
         let budget = inst.rumor_seeds().len();
         // One solver session per drawn instance: the greedy and the
         // baselines share its cached bridge ends and orderings.
-        let mut solver = Solver::with_config(
+        let solver = Solver::with_config(
             inst,
             SolverConfig {
                 master_seed: cfg.seed,
@@ -262,14 +262,16 @@ pub fn run_opoao_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult 
         };
         let bridge_ends = greedy.bridge_ends.len();
         let mut sets = vec![("greedy".to_owned(), greedy_report.protectors.clone())];
-        for algorithm in [
+        // The baselines batch through `solve_many`: results come back
+        // in request order, so the figure's strategy order holds.
+        let baselines = [
             Algorithm::Proximity,
             Algorithm::MaxDegree,
             Algorithm::NoBlocking,
-        ] {
-            let run = solver
-                .solve(&SolveRequest::heuristic(algorithm, budget))
-                .expect("budgeted heuristics cannot fail on a valid instance");
+        ]
+        .map(|algorithm| SolveRequest::heuristic(algorithm, budget));
+        for run in solver.solve_many(&baselines) {
+            let run = run.expect("budgeted heuristics cannot fail on a valid instance");
             sets.push((run.algorithm, run.protectors));
         }
         let report = evaluate_protector_sets(
@@ -313,7 +315,7 @@ pub fn run_doam_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult {
     for (i, &fraction) in spec.dataset.paper_fractions().iter().enumerate() {
         let inst = instance_for(&ds, community, fraction, cfg.seed ^ (i as u64) << 8);
         let rumor_count = inst.rumor_seeds().len();
-        let mut solver = Solver::with_config(
+        let solver = Solver::with_config(
             inst,
             SolverConfig {
                 master_seed: cfg.seed,
@@ -328,14 +330,15 @@ pub fn run_doam_figure(spec: &FigureSpec, cfg: &HarnessConfig) -> FigureResult {
         let budget = scbg_report.protectors.len();
         let bridge_ends = sol.bridge_ends.len();
         let mut sets = vec![("scbg".to_owned(), scbg_report.protectors.clone())];
-        for algorithm in [
+        // Baselines batch through `solve_many`, preserving order.
+        let baselines = [
             Algorithm::Proximity,
             Algorithm::MaxDegree,
             Algorithm::NoBlocking,
-        ] {
-            let run = solver
-                .solve(&SolveRequest::heuristic(algorithm, budget))
-                .expect("budgeted heuristics cannot fail on a valid instance");
+        ]
+        .map(|algorithm| SolveRequest::heuristic(algorithm, budget));
+        for run in solver.solve_many(&baselines) {
+            let run = run.expect("budgeted heuristics cannot fail on a valid instance");
             sets.push((run.algorithm, run.protectors));
         }
         let report = evaluate_protector_sets(

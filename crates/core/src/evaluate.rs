@@ -143,7 +143,7 @@ pub fn compare_selectors<M>(
 where
     M: TwoCascadeModel + Sync,
 {
-    let mut solver = Solver::with_config(
+    let solver = Solver::with_config(
         instance.clone(),
         SolverConfig {
             master_seed: selection_seed,
@@ -155,7 +155,7 @@ where
         .collect();
     let mut sets = Vec::with_capacity(adapters.len());
     for adapter in &adapters {
-        let report = adapter.select(&mut solver)?;
+        let report = adapter.select(&solver)?;
         sets.push((report.algorithm, report.protectors));
     }
     evaluate_protector_sets(instance, model, &sets, mc)

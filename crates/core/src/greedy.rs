@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use lcrb_diffusion::SimWorkspace;
+use lcrb_diffusion::{ScratchPool, SimWorkspace};
 use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
@@ -355,7 +355,10 @@ impl GreedyTrajectory {
 /// picks made, or the candidate pool is out of positive gains.
 ///
 /// Replays exactly the cold Algorithm 1 + CELF loop; on a fresh
-/// trajectory this *is* the cold run.
+/// trajectory this *is* the cold run. Scratch space is leased from
+/// `pool` (one lease for the sequential loop, one per worker in the
+/// initial sweep) and returned when the call finishes, so concurrent
+/// callers share the pool without sharing buffers.
 pub(crate) fn advance_trajectory(
     backend: &SigmaBackend<'_>,
     traj: &mut GreedyTrajectory,
@@ -363,8 +366,10 @@ pub(crate) fn advance_trajectory(
     cap: usize,
     lazy: bool,
     threads: usize,
-    scratch: &mut SigmaScratch,
+    pool: &ScratchPool<SigmaScratch>,
 ) -> Result<(), LcrbError> {
+    let mut lease = pool.lease();
+    let scratch = &mut *lease;
     if !traj.started {
         traj.sigma_empty = backend.sigma_with(&[], scratch)?;
         traj.sigma_current = traj.sigma_empty;
@@ -381,8 +386,13 @@ pub(crate) fn advance_trajectory(
             // evaluated in parallel. Runs at most once per trajectory
             // (always with the empty selection), so resumed runs see
             // the same gains a cold run would.
-            let gains =
-                parallel_initial_gains(backend, &traj.candidates, traj.sigma_current, threads)?;
+            let gains = parallel_initial_gains(
+                backend,
+                &traj.candidates,
+                traj.sigma_current,
+                threads,
+                pool,
+            )?;
             traj.evaluations += traj.candidates.len();
             traj.heap = gains
                 .iter()
@@ -510,11 +520,11 @@ fn run_greedy(
     let cap = budget.unwrap_or(config.max_protectors);
 
     let mut traj = GreedyTrajectory::new(candidate_pool(instance, &bridge_ends, config.candidates));
-    // One long-lived scratch drives every σ̂ evaluation of the
-    // sequential CELF loop (a `SimWorkspace` plus reusable seed pair
-    // against the CSR snapshot for Monte Carlo, coverage stamps for
-    // sketches).
-    let mut scratch = SigmaScratch::default();
+    // A one-shot pool: the sequential CELF loop leases one long-lived
+    // scratch (a `SimWorkspace` plus reusable seed pair against the
+    // CSR snapshot for Monte Carlo, coverage stamps for sketches) and
+    // the initial sweep leases one per worker.
+    let pool = ScratchPool::new();
     advance_trajectory(
         &backend,
         &mut traj,
@@ -522,7 +532,7 @@ fn run_greedy(
         cap,
         config.lazy,
         config.threads,
-        &mut scratch,
+        &pool,
     )?;
     let evaluations = traj.evaluations();
     Ok(selection_from_trajectory(
@@ -588,6 +598,7 @@ fn parallel_initial_gains(
     candidates: &[NodeId],
     sigma_empty: f64,
     threads: usize,
+    pool: &ScratchPool<SigmaScratch>,
 ) -> Result<Vec<f64>, LcrbError> {
     let threads = if threads > 0 {
         threads
@@ -600,7 +611,7 @@ fn parallel_initial_gains(
     .max(1);
 
     if threads == 1 {
-        let mut ws = SigmaScratch::default();
+        let mut ws = pool.lease();
         return candidates
             .iter()
             .map(|&c| Ok(objective.sigma_with(&[c], &mut ws)? - sigma_empty))
@@ -610,9 +621,10 @@ fn parallel_initial_gains(
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             handles.push(scope.spawn(move || {
-                // One scratch per worker for the whole sweep: the
-                // objective is shared immutably, scratch is private.
-                let mut ws = SigmaScratch::default();
+                // One scratch lease per worker for the whole sweep:
+                // the objective is shared immutably, scratch is
+                // private to the lease.
+                let mut ws = pool.lease();
                 // xtask-allow: hotpath -- one accumulator per worker thread for the whole sweep
                 let mut partial = Vec::new();
                 let mut i = t;

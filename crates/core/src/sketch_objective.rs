@@ -131,17 +131,12 @@ impl SketchParams {
     }
 }
 
-#[inline]
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
+/// Derives a decorrelated RNG stream — the shared
+/// [`lcrb_diffusion::derive_stream`] primitive, re-exposed under the
+/// name the engine and estimators historically use.
 #[inline]
 pub(crate) fn mix(master: u64, stream: u64) -> u64 {
-    splitmix64(master ^ splitmix64(stream))
+    lcrb_diffusion::derive_stream(master, stream)
 }
 
 /// Epoch-versioned scratch for [`SketchObjective::sigma_with`]

@@ -80,9 +80,9 @@ pub use model::TwoCascadeModel;
 pub use montecarlo::{monte_carlo, monte_carlo_csr, AveragedOutcome, MonteCarloConfig};
 pub use opoao::{OpoaoModel, PAPER_OPOAO_HOPS};
 pub use outcome::{DiffusionOutcome, HopRecord, Status};
-pub use pool::ScratchPool;
+pub use pool::{ScratchLease, ScratchPool};
 pub use realization::OpoaoRealization;
-pub use seeds::{SeedError, SeedSets};
+pub use seeds::{derive_stream, splitmix64, SeedError, SeedSets};
 pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};
 pub use sketch::{rr_sketch_into, RrScratch, SketchBatch};
 pub use timestamps::{run_opoao_timestamped, EdgeStamp, TimestampedOutcome};

@@ -1,4 +1,5 @@
-//! Workspace lending: a free-list pool for reusable scratch values.
+//! Workspace leasing: a thread-safe free-list pool for reusable
+//! scratch values.
 //!
 //! Every estimator in this workspace follows the caller-owned-scratch
 //! pattern (`SimWorkspace`, `RrScratch`, coverage stamps): the caller
@@ -6,44 +7,53 @@
 //! session engine that answers many queries against one snapshot
 //! needs somewhere to park those scratches between solves so warm
 //! queries reuse the grown buffers instead of re-allocating them.
-//! [`ScratchPool`] is that place: a LIFO free list that lends values
-//! out by move and takes them back when the caller is done.
+//! [`ScratchPool`] is that place: a LIFO free list that leases values
+//! out behind an RAII guard ([`ScratchLease`]) and takes them back
+//! automatically when the guard drops.
 //!
 //! LIFO order deliberately hands back the most recently used value —
 //! the one whose buffers are hot in cache and already sized to the
-//! instance.
+//! instance. The free list lives behind a [`Mutex`], so a shared
+//! engine can lease scratches from `&self` across concurrent solves;
+//! the lock is only held for the push/pop, never while the scratch is
+//! in use.
 
 use core::fmt;
+use core::ops::{Deref, DerefMut};
+use std::sync::Mutex;
 
-/// A LIFO free list of reusable scratch values.
+/// A thread-safe LIFO free list of reusable scratch values.
 ///
 /// # Examples
 ///
 /// ```
 /// use lcrb_diffusion::{ScratchPool, SimWorkspace};
 ///
-/// let mut pool: ScratchPool<SimWorkspace> = ScratchPool::new();
-/// let ws = pool.lend(); // fresh: pool was empty
-/// pool.restore(ws);
+/// let pool: ScratchPool<SimWorkspace> = ScratchPool::new();
+/// {
+///     let _ws = pool.lease(); // fresh: pool was empty
+/// } // dropping the lease parks the workspace back in the pool
 /// assert_eq!(pool.pooled(), 1);
-/// let _again = pool.lend(); // the same grown workspace comes back
+/// let _again = pool.lease(); // the same grown workspace comes back
 /// assert_eq!(pool.pooled(), 0);
 /// ```
 pub struct ScratchPool<T> {
-    free: Vec<T>,
+    free: Mutex<Vec<T>>,
 }
 
 impl<T> fmt::Debug for ScratchPool<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScratchPool")
-            .field("pooled", &self.free.len())
+            .field("pooled", &self.pooled())
             .finish()
     }
 }
 
 impl<T> Default for ScratchPool<T> {
     fn default() -> Self {
-        ScratchPool { free: Vec::new() }
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
     }
 }
 
@@ -54,30 +64,86 @@ impl<T> ScratchPool<T> {
         ScratchPool::default()
     }
 
+    /// Locks the free list, recovering the value even if another
+    /// thread panicked mid-push (a poisoned `Vec<T>` is still a valid
+    /// free list: the worst case is a lost park, never a torn value).
+    fn free(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of values currently parked in the pool.
     #[must_use]
     pub fn pooled(&self) -> usize {
-        self.free.len()
-    }
-
-    /// Returns a parked value to the pool for the next lender.
-    pub fn restore(&mut self, value: T) {
-        self.free.push(value);
+        self.free().len()
     }
 
     /// Drops every parked value — the pool's invalidation hook for
     /// when the instance the scratches were sized against changes.
-    pub fn clear(&mut self) {
-        self.free.clear();
+    /// Values currently out on lease are unaffected; they return to
+    /// the pool when their guards drop.
+    pub fn clear(&self) {
+        self.free().clear();
     }
 }
 
 impl<T: Default> ScratchPool<T> {
-    /// Lends a value out by move: the most recently restored one if
-    /// the pool is non-empty, otherwise `T::default()`.
+    /// Leases a value out: the most recently parked one if the pool
+    /// is non-empty, otherwise `T::default()`. The value returns to
+    /// the pool when the [`ScratchLease`] guard drops.
     #[must_use]
-    pub fn lend(&mut self) -> T {
-        self.free.pop().unwrap_or_default()
+    pub fn lease(&self) -> ScratchLease<'_, T> {
+        let value = self.free().pop().unwrap_or_default();
+        ScratchLease {
+            pool: self,
+            value: Some(value),
+        }
+    }
+}
+
+/// RAII guard for a value leased from a [`ScratchPool`].
+///
+/// Dereferences to the leased value; on drop, the value is parked
+/// back in the pool for the next lease.
+pub struct ScratchLease<'a, T> {
+    pool: &'a ScratchPool<T>,
+    value: Option<T>,
+}
+
+impl<T: fmt::Debug> fmt::Debug for ScratchLease<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchLease")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> Deref for ScratchLease<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // The Option is only vacated in drop, after which no deref
+        // can observe it.
+        self.value
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("lease vacated before drop"))
+    }
+}
+
+impl<T> DerefMut for ScratchLease<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value
+            .as_mut()
+            .unwrap_or_else(|| unreachable!("lease vacated before drop"))
+    }
+}
+
+impl<T> Drop for ScratchLease<'_, T> {
+    fn drop(&mut self) {
+        if let Some(value) = self.value.take() {
+            self.pool.free().push(value);
+        }
     }
 }
 
@@ -86,23 +152,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lend_is_lifo_and_falls_back_to_default() {
-        let mut pool: ScratchPool<Vec<u32>> = ScratchPool::new();
-        assert_eq!(pool.lend(), Vec::<u32>::new());
-        pool.restore(vec![1]);
-        pool.restore(vec![2]);
-        assert_eq!(pool.pooled(), 2);
-        assert_eq!(pool.lend(), vec![2]);
-        assert_eq!(pool.lend(), vec![1]);
-        assert_eq!(pool.lend(), Vec::<u32>::new());
+    fn lease_is_lifo_and_falls_back_to_default() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        assert_eq!(*pool.lease(), Vec::<u32>::new());
+        // The empty default was parked by the drop above.
+        assert_eq!(pool.pooled(), 1);
+        {
+            let mut a = pool.lease();
+            a.push(1);
+            let mut b = pool.lease();
+            b.push(2);
+            assert_eq!(pool.pooled(), 0);
+            // b drops first, then a: LIFO puts a's value on top.
+        }
+        assert_eq!(*pool.lease(), vec![1]);
     }
 
     #[test]
-    fn clear_drops_parked_values() {
-        let mut pool: ScratchPool<Vec<u32>> = ScratchPool::new();
-        pool.restore(vec![1, 2, 3]);
+    fn clear_drops_parked_values_but_not_live_leases() {
+        let pool: ScratchPool<Vec<u32>> = ScratchPool::new();
+        let mut live = pool.lease();
+        live.push(7);
+        {
+            let mut parked = pool.lease();
+            parked.push(9);
+        }
+        assert_eq!(pool.pooled(), 1);
         pool.clear();
         assert_eq!(pool.pooled(), 0);
-        assert!(pool.lend().is_empty());
+        drop(live);
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(*pool.lease(), vec![7]);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let pool: ScratchPool<Vec<u64>> = ScratchPool::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let mut lease = pool.lease();
+                        lease.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert!(pool.pooled() >= 1);
+        assert!(pool.pooled() <= 4);
     }
 }

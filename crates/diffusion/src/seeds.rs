@@ -1,9 +1,57 @@
-//! Seed-set handling for the two competing cascades.
+//! Seed-set handling for the two competing cascades, plus the RNG
+//! stream-derivation primitive every seeded estimator shares.
 
 // xtask-allow-file: index -- membership bitmaps are node_count-sized and built during the validation that admits each seed
 use core::fmt;
 
 use lcrb_graph::{DiGraph, NodeId};
+
+/// SplitMix64 finalizer — the avalanche step behind
+/// [`derive_stream`].
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_diffusion::splitmix64;
+///
+/// assert_ne!(splitmix64(1), splitmix64(2));
+/// assert_eq!(splitmix64(7), splitmix64(7)); // pure function of the input
+/// ```
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives a per-request RNG stream seed from a master seed and a
+/// request-content key.
+///
+/// This is the determinism-under-concurrency primitive: a stream is a
+/// pure function of *what* is being sampled (master seed + content
+/// key), never of which worker thread runs the request or in what
+/// order requests arrive. Two requests with the same content key get
+/// the same stream on any schedule; distinct keys get decorrelated
+/// streams via a double [`splitmix64`] mix.
+///
+/// # Examples
+///
+/// ```
+/// use lcrb_diffusion::derive_stream;
+///
+/// let master = 9;
+/// // Same (master, key) → same stream, regardless of call order.
+/// assert_eq!(derive_stream(master, 42), derive_stream(master, 42));
+/// // Different keys → different streams.
+/// assert_ne!(derive_stream(master, 42), derive_stream(master, 43));
+/// ```
+#[inline]
+#[must_use]
+pub fn derive_stream(master: u64, key: u64) -> u64 {
+    splitmix64(master ^ splitmix64(key))
+}
 
 /// Errors produced when validating seed sets.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,7 +1,7 @@
 //! The lint rules: scoping, test-code stripping, rule checks, and
 //! `xtask-allow` pragma application.
 //!
-//! Six rule families guard the invariants the paper reproduction
+//! Eight rule families guard the invariants the paper reproduction
 //! depends on (see DESIGN.md §"Static analysis layer"):
 //!
 //! - `determinism` — the LCRB-P greedy is only (1 − 1/e)-approximate
@@ -27,13 +27,23 @@
 //! - `attributes` — every crate root carries the standard prelude
 //!   (`forbid(unsafe_code)`, `deny(missing_docs)`,
 //!   `warn(missing_debug_implementations)`).
+//! - `concurrency` — the shared `Solver` session (ISSUE 7) splits
+//!   state three ways: request-immutable, internally synchronized,
+//!   and per-request. Global mutable state (`static mut`, `static`s
+//!   with interior mutability) bypasses that split, and a lock guard
+//!   held across a call into a hot-module kernel serializes the very
+//!   work `solve_many` fans out; both are flagged in library code.
+//! - `docexample` — the session types (`Solver`, `SolveRequest`,
+//!   `SolveReport`) are the crate's front door; every `pub fn` in
+//!   their inherent impls must carry a doc comment with a fenced
+//!   code example (or a justified allow).
 
 use std::collections::BTreeSet;
 
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
 /// Rule identifiers accepted by `xtask-allow` pragmas.
-pub const KNOWN_RULES: [&str; 7] = [
+pub const KNOWN_RULES: [&str; 9] = [
     "determinism",
     "panic",
     "index",
@@ -41,6 +51,8 @@ pub const KNOWN_RULES: [&str; 7] = [
     "collect",
     "bufclone",
     "attributes",
+    "concurrency",
+    "docexample",
 ];
 
 /// Crates whose result-producing code must not iterate hash
@@ -72,6 +84,37 @@ const HOT_FILES: [&str; 13] = [
 const NON_INDEX_KEYWORDS: [&str; 12] = [
     "mut", "dyn", "as", "in", "return", "break", "else", "move", "ref", "static", "const", "box",
 ];
+
+/// Hot-module entry points a lock guard must not be held across: any
+/// of these inside a guard's live range serializes the kernel work
+/// `solve_many` exists to fan out (and invites lock-order inversion
+/// against the cache's own family locks).
+const HOT_CALLS: [&str; 6] = [
+    "sigma_with",
+    "sigma_with_cached_seeds",
+    "run_into",
+    "run_realized_into",
+    "advance_trajectory",
+    "monte_carlo_csr",
+];
+
+/// Types whose presence in a `static` item's type makes it shared
+/// global mutable state (`Atomic*` is matched by prefix).
+const INTERIOR_MUT_TYPES: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+    "Condvar",
+];
+
+/// Inherent-impl targets whose `pub fn`s must carry doc examples —
+/// the session API surface (ISSUE 7 satellite).
+const DOC_EXAMPLE_TYPES: [&str; 3] = ["Solver", "SolveRequest", "SolveReport"];
 
 /// Hash-container methods whose iteration order is nondeterministic.
 const HASH_ITER_METHODS: [&str; 9] = [
@@ -196,6 +239,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
         if !class.hot {
             check_index(&code, rel_path, &mut raw);
         }
+        check_concurrency(&code, rel_path, &mut raw);
+        check_docexample(&code, source, rel_path, &mut raw);
     }
     if class.hot {
         check_hotpath(&code, rel_path, &mut raw);
@@ -575,6 +620,237 @@ fn check_bufclone(code: &[Token], file: &str, out: &mut Vec<Violation>) {
             });
         }
     }
+}
+
+/// The `concurrency` family (ISSUE 7): three lexical checks that keep
+/// shared state inside the `Solver`'s synchronized split.
+///
+/// 1. `static mut` — unsynchronized global state, never sound here.
+/// 2. A `static` whose type mentions an interior-mutability primitive
+///    (`Mutex`, `Atomic*`, `OnceLock`, ...) — shared mutable state
+///    that bypasses the session's cache/scratch ownership and is
+///    invisible to its epoch invalidation.
+/// 3. A `let`-bound guard whose initializer takes a lock (`.lock(`,
+///    `.read(`, `.write(`) and whose live range — up to the enclosing
+///    `}` or an explicit `drop(guard)` — reaches a hot-module entry
+///    point from [`HOT_CALLS`]: the kernel then runs serialized under
+///    the lock.
+fn check_concurrency(code: &[Token], file: &str, out: &mut Vec<Violation>) {
+    let interior_mut = |t: &Token| {
+        t.kind == TokKind::Ident
+            && (INTERIOR_MUT_TYPES.contains(&t.text.as_str()) || t.text.starts_with("Atomic"))
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("static") {
+            continue;
+        }
+        if code.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            out.push(Violation {
+                file: file.to_owned(),
+                line: t.line,
+                rule: "concurrency".to_owned(),
+                message: "`static mut` is unsynchronized global state; move it into the session's owned state or a synchronized container".to_owned(),
+            });
+            continue;
+        }
+        // The item's type runs from after the name to the `=` or `;`
+        // terminator; an interior-mutability primitive there makes the
+        // static shared mutable state.
+        let mut j = i + 1;
+        while j < code.len() && !code[j].is_punct('=') && !code[j].is_punct(';') {
+            if interior_mut(&code[j]) {
+                out.push(Violation {
+                    file: file.to_owned(),
+                    line: t.line,
+                    rule: "concurrency".to_owned(),
+                    message: format!(
+                        "`static` with interior mutability (`{}`) is shared global state invisible to the session's epoch invalidation; own it in `Solver`/`ArtifactCache` or justify with `// xtask-allow: concurrency -- <why>`",
+                        code[j].text
+                    ),
+                });
+                break;
+            }
+            j += 1;
+        }
+    }
+
+    // Guard-across-hot-call: find `let [mut] g = <expr with a lock
+    // acquisition> ;` and scan the guard's live range.
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let guard = name.text.clone();
+        // Scan the initializer up to its `;` for a lock acquisition.
+        let mut k = j + 1;
+        let mut acquires = false;
+        while k < code.len() && !code[k].is_punct(';') {
+            if code[k].is_punct('.')
+                && code.get(k + 1).is_some_and(|m| {
+                    m.is_ident("lock") || m.is_ident("read") || m.is_ident("write")
+                })
+                && code.get(k + 2).is_some_and(|p| p.is_punct('('))
+            {
+                acquires = true;
+            }
+            k += 1;
+        }
+        if acquires {
+            // Live range: until the enclosing block closes or the
+            // guard is dropped explicitly.
+            let mut depth = 0i64;
+            let mut m = k + 1;
+            while m < code.len() {
+                let t = &code[m];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if t.is_ident("drop")
+                    && code.get(m + 1).is_some_and(|p| p.is_punct('('))
+                    && code.get(m + 2).is_some_and(|g| g.is_ident(&guard))
+                {
+                    break;
+                } else if t.kind == TokKind::Ident
+                    && HOT_CALLS.contains(&t.text.as_str())
+                    && code.get(m + 1).is_some_and(|p| p.is_punct('('))
+                {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: t.line,
+                        rule: "concurrency".to_owned(),
+                        message: format!(
+                            "lock guard `{guard}` is still live across `{}(..)`; the kernel runs serialized under the lock — drop the guard first (clone/`Arc` the artifact out) or justify with `// xtask-allow: concurrency -- <why>`",
+                            t.text
+                        ),
+                    });
+                    break;
+                }
+                m += 1;
+            }
+        }
+        i = k + 1;
+    }
+}
+
+/// The `docexample` family (ISSUE 7): every `pub fn` in an *inherent*
+/// impl of a session type ([`DOC_EXAMPLE_TYPES`]) must carry a doc
+/// comment containing a fenced code example.
+///
+/// Detection is two-layered because the lexer deliberately drops doc
+/// comments: impl blocks and `pub fn` items are found in the token
+/// stream, then the raw source lines *above* each `pub fn` are
+/// scanned upward — collecting `///` lines, skipping attribute lines,
+/// stopping at the previous item (a line ending in `{`, `}`, or `;`,
+/// a blank line, or a `//!` inner doc).
+fn check_docexample(code: &[Token], source: &str, file: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        if !code[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the impl header up to its `{`; a `for` marks a trait
+        // impl (out of scope — the trait documents the contract).
+        let mut j = i + 1;
+        let mut target: Option<String> = None;
+        let mut trait_impl = false;
+        while j < code.len() && !code[j].is_punct('{') && !code[j].is_punct(';') {
+            let t = &code[j];
+            if t.is_ident("for") {
+                trait_impl = true;
+            } else if t.kind == TokKind::Ident
+                && DOC_EXAMPLE_TYPES.contains(&t.text.as_str())
+                && target.is_none()
+            {
+                target = Some(t.text.clone());
+            }
+            j += 1;
+        }
+        if j >= code.len() || code[j].is_punct(';') {
+            i = j + 1;
+            continue;
+        }
+        let Some(type_name) = target.filter(|_| !trait_impl) else {
+            i = j + 1;
+            continue;
+        };
+        // Walk the impl body; `pub fn` at body depth 1 is API surface.
+        let mut depth = 0i64;
+        let mut m = j;
+        while m < code.len() {
+            let t = &code[m];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && t.is_ident("pub")
+                && code.get(m + 1).is_some_and(|f| f.is_ident("fn"))
+            {
+                let fn_name = code.get(m + 2).map_or_else(String::new, |n| n.text.clone());
+                if !doc_block_has_example(&lines, t.line) {
+                    out.push(Violation {
+                        file: file.to_owned(),
+                        line: t.line,
+                        rule: "docexample".to_owned(),
+                        message: format!(
+                            "`{type_name}::{fn_name}` is public session API; its doc comment needs a fenced ``` example (or `// xtask-allow: docexample -- <why>`)"
+                        ),
+                    });
+                }
+            }
+            m += 1;
+        }
+        i = m + 1;
+    }
+}
+
+/// Scans raw source lines upward from the line holding a `pub fn`,
+/// looking for a fenced code block in its contiguous `///` doc
+/// comment. Attribute lines (including multi-line attribute bodies)
+/// are skipped; the scan stops at the previous item boundary.
+fn doc_block_has_example(lines: &[&str], fn_line: usize) -> bool {
+    let mut idx = fn_line.saturating_sub(1); // 0-based index of the fn line
+    while idx > 0 {
+        idx -= 1;
+        let text = lines.get(idx).map_or("", |l| l.trim());
+        if let Some(doc) = text.strip_prefix("///") {
+            if doc.contains("```") {
+                return true;
+            }
+            continue;
+        }
+        if text.is_empty()
+            || text.starts_with("//!")
+            || text.ends_with('{')
+            || text.ends_with('}')
+            || text.ends_with(';')
+        {
+            return false;
+        }
+        // Anything else is an attribute (or a continuation line of a
+        // multi-line attribute) sitting between the docs and the fn.
+    }
+    false
 }
 
 fn check_attributes(tokens: &[Token], file: &str, out: &mut Vec<Violation>) {

@@ -378,6 +378,165 @@ fn f(traj: &Trajectory, len: usize) -> Vec<u32> {
     assert_clean(HOT, src);
 }
 
+// ---------------------------------------------------------------- concurrency
+
+#[test]
+fn concurrency_flags_static_mut_and_interior_mut_statics() {
+    let src = r#"
+static mut COUNTER: u64 = 0;
+static REGISTRY: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+static HITS: AtomicU64 = AtomicU64::new(0);
+static ONCE: OnceLock<Index> = OnceLock::new();
+"#;
+    let v = assert_rule(COLD, src, "concurrency", 4);
+    assert!(v[0].message.contains("static mut"));
+    assert!(v[1].message.contains("Mutex"));
+}
+
+#[test]
+fn concurrency_accepts_const_statics_and_owned_sync_fields() {
+    // Plain consts, `&'static` lifetimes, and synchronized state
+    // owned by a struct (the session split) are all fine.
+    let src = r#"
+static NAMES: [&'static str; 2] = ["a", "b"];
+const LIMIT: u64 = 8;
+struct Cache {
+    map: Mutex<BTreeMap<u64, u64>>,
+    hits: AtomicU64,
+}
+"#;
+    assert_rule(COLD, src, "concurrency", 0);
+}
+
+#[test]
+fn concurrency_flags_guard_held_across_hot_calls() {
+    let src = r#"
+fn f(solver: &Solver, traj: &mut Trajectory) -> Result<(), E> {
+    let map = solver.cache.lock().unwrap_or_default();
+    advance_trajectory(&map.backend, traj)?;
+    Ok(())
+}
+"#;
+    let v = assert_rule(COLD, src, "concurrency", 1);
+    assert!(v[0].message.contains("advance_trajectory"));
+    assert!(v[0].message.contains("`map`"));
+}
+
+#[test]
+fn concurrency_accepts_guard_dropped_before_hot_call() {
+    // An explicit `drop(guard)` or the block's end frees the lock
+    // before the kernel runs; cloning the artifact out is the idiom.
+    let src = r#"
+fn f(solver: &Solver, traj: &mut Trajectory) -> Result<(), E> {
+    let map = solver.cache.lock().unwrap_or_default();
+    let backend = map.backend_arc();
+    drop(map);
+    advance_trajectory(&backend, traj)?;
+    Ok(())
+}
+
+fn g(solver: &Solver) -> usize {
+    let guard = solver.cache.read().unwrap_or_default();
+    guard.len()
+}
+"#;
+    assert_rule(COLD, src, "concurrency", 0);
+}
+
+#[test]
+fn concurrency_allow_marks_justified_serialized_sections() {
+    let src = r#"
+fn f(state: &Shared, traj: &mut Trajectory) -> Result<(), E> {
+    let guard = state.inner.lock().unwrap_or_default();
+    // xtask-allow: concurrency -- single-threaded maintenance path; documented in DESIGN.md §11
+    advance_trajectory(&guard.backend, traj)?;
+    Ok(())
+}
+"#;
+    assert_rule(COLD, src, "concurrency", 0);
+}
+
+// ----------------------------------------------------------------- docexample
+
+#[test]
+fn docexample_flags_session_api_without_fenced_example() {
+    let src = r#"
+impl Solver {
+    /// Returns the epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+"#;
+    let v = assert_rule(COLD, src, "docexample", 1);
+    assert!(v[0].message.contains("Solver::epoch"));
+}
+
+#[test]
+fn docexample_accepts_fenced_examples_and_skips_attributes() {
+    // The fenced block satisfies the rule even with attributes
+    // (including multi-line ones) stacked between docs and fn.
+    let src = r#"
+impl SolveReport {
+    /// Cumulative counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// assert_eq!(1 + 1, 2);
+    /// ```
+    #[deprecated(
+        since = "0.1.0",
+        note = "diff snapshots instead"
+    )]
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+}
+"#;
+    assert_rule(COLD, src, "docexample", 0);
+}
+
+#[test]
+fn docexample_scope_is_inherent_session_impls_only() {
+    // Trait impls, non-session types, and non-pub fns are out of
+    // scope; `pub fn` on other types never fires.
+    let src = r#"
+impl std::fmt::Display for Solver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("solver")
+    }
+}
+
+impl Widget {
+    /// No example needed here.
+    pub fn poke(&self) {}
+}
+
+impl Solver {
+    /// Private helpers are exempt.
+    fn internal(&self) {}
+    pub(crate) fn crate_only(&self) {}
+}
+"#;
+    assert_rule(COLD, src, "docexample", 0);
+}
+
+#[test]
+fn docexample_allow_marks_justified_exemptions() {
+    let src = r#"
+impl SolveRequest {
+    /// Trivial accessor.
+    // xtask-allow: docexample -- one-line getter; an example would restate the signature
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+"#;
+    assert_rule(COLD, src, "docexample", 0);
+}
+
 // ----------------------------------------------------------------- attributes
 
 #[test]

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
 
-    let mut solver = Solver::with_config(instance, SolverConfig { master_seed: 9 });
+    let solver = Solver::with_config(instance, SolverConfig { master_seed: 9 });
     let base = SolveRequest {
         realizations: 32,
         candidates: CandidatePool::BackwardRadius(2),
@@ -105,23 +105,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         selection.evaluations
     );
 
-    // α-target mode: the LCRB-P problem statement. Each solve resumes
-    // the session's cached trajectory instead of starting cold.
-    for alpha in [0.5, 0.8, 0.95] {
-        let report = solver.solve(&base.with_stop(StopRule::Alpha(alpha)))?;
+    // α-target mode: the LCRB-P problem statement. The three targets
+    // go through `solve_many` as one batch — each resumes the
+    // session's cached trajectory instead of starting cold, and the
+    // cache-counter delta around the batch shows the reuse.
+    let alphas = [0.5, 0.8, 0.95];
+    let batch = alphas.map(|alpha| base.with_stop(StopRule::Alpha(alpha)));
+    let before = solver.cache_stats();
+    let reports = solver.solve_many(&batch);
+    let batch_delta = solver.cache_stats().delta_since(&before);
+    for (alpha, report) in alphas.iter().zip(reports) {
+        let report = report?;
         let SolveDetail::Greedy(sel) = &report.detail else {
             unreachable!("a greedy request carries a greedy detail");
         };
         println!(
-            "alpha = {alpha:4.2}: target σ̂ >= {:6.2} -> {} protectors, achieved {:6.2} ({}; {} new σ̂ evaluations, {} cache hits)",
+            "alpha = {alpha:4.2}: target σ̂ >= {:6.2} -> {} protectors, achieved {:6.2} ({}; {} new σ̂ evaluations)",
             sel.target,
             report.protectors.len(),
             sel.achieved,
             if sel.target_met { "met" } else { "NOT met" },
             sel.evaluations,
-            report.cache_hits(),
         );
     }
+    println!(
+        "alpha batch: {} cache hits / {} misses across {} batched solves",
+        batch_delta.hits(),
+        batch_delta.misses(),
+        alphas.len()
+    );
     let stats = solver.cache_stats();
     println!(
         "\nsession cache: {} hits / {} misses across {} solves",

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Builds a two-community directed graph, starts a rumor in one
-//! community, opens a [`Solver`] session, solves LCRB-D with SCBG,
-//! and verifies with a DOAM simulation that the rumor never escapes.
+//! community, opens a [`Solver`] session, solves LCRB-D with SCBG
+//! (batched alongside a max-degree baseline via `solve_many`), and
+//! verifies with a DOAM simulation that the rumor never escapes.
 
 use lcrb_repro::prelude::*;
 
@@ -39,16 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let partition = Partition::from_labels(vec![0, 0, 0, 0, 1, 1, 1, 1]);
 
     // A rumor starts at node 0; a solver session owns the instance
-    // and caches the artifacts every query shares.
+    // and caches the artifacts every query shares. Solves go through
+    // `&self`, so one session can serve many callers at once.
     let instance = RumorBlockingInstance::new(g, partition, 0, vec![NodeId::new(0)])?;
-    let mut solver = Solver::new(instance);
+    let solver = Solver::new(instance);
 
     // Stage 1 of both algorithms: find the bridge ends.
     let bridges = find_bridge_ends(solver.instance(), BridgeEndRule::WithinCommunity);
     println!("bridge ends: {:?}", bridges.nodes);
 
-    // Stage 2 (LCRB-D): SCBG picks the least-cost protector set.
-    let report = solver.solve(&SolveRequest::scbg())?;
+    // Stage 2 (LCRB-D): SCBG picks the least-cost protector set. The
+    // batched API answers the max-degree baseline in the same call —
+    // results come back in request order.
+    let batch = [
+        SolveRequest::scbg(),
+        SolveRequest::heuristic(Algorithm::MaxDegree, 2),
+    ];
+    let mut reports = solver.solve_many(&batch).into_iter();
+    let report = reports.next().expect("one report per request")?;
+    let baseline = reports.next().expect("one report per request")?;
     let SolveDetail::Scbg(solution) = &report.detail else {
         unreachable!("an SCBG request carries an SCBG detail");
     };
@@ -57,6 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.protectors.len(),
         report.protectors,
         solution.candidate_count
+    );
+    println!(
+        "max-degree baseline would spend {} protector(s): {:?}",
+        baseline.protectors.len(),
+        baseline.protectors
     );
     assert!(solution.is_complete());
 

@@ -40,9 +40,9 @@
 //!     &mut rng,
 //! )?;
 //!
-//! // 3. A solver session answers queries with cached artifacts:
-//! //    SCBG picks the least-cost protector set...
-//! let mut solver = Solver::new(instance);
+//! // 3. A shared solver session answers queries from `&self` with
+//! //    cached artifacts: SCBG picks the least-cost protector set...
+//! let solver = Solver::new(instance);
 //! let report = solver.solve(&SolveRequest::scbg())?;
 //! let SolveDetail::Scbg(solution) = &report.detail else {
 //!     unreachable!("an SCBG request carries an SCBG detail");
@@ -74,8 +74,8 @@ pub use lcrb;
 pub mod prelude {
     pub use lcrb::{
         find_bridge_ends, greedy_lcrb_p, greedy_viral_stopper, greedy_with_budget, scbg,
-        scbg_weighted, Algorithm, BridgeEndRule, Budgeted, CandidatePool, Estimator, GreedyConfig,
-        GvsConfig, LcrbError, MaxDegreeSelector, NoBlockingSelector, ObjectiveModel,
+        scbg_weighted, Algorithm, BridgeEndRule, Budgeted, CacheStats, CandidatePool, Estimator,
+        GreedyConfig, GvsConfig, LcrbError, MaxDegreeSelector, NoBlockingSelector, ObjectiveModel,
         PageRankSelector, ProtectorSelector, ProximitySelector, RandomSelector,
         RumorBlockingInstance, ScbgConfig, Selector, SketchIndex, SketchObjective, SketchParams,
         SolveDetail, SolveReport, SolveRequest, Solver, SolverConfig, StopRule,

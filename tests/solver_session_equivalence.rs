@@ -1,7 +1,8 @@
 //! Property harness for the `Solver` session cache: a warm re-solve
-//! must be *bitwise* identical to a cold solve on a fresh session.
+//! must be *bitwise* identical to a cold solve on a fresh session —
+//! and a concurrent batch must be bitwise identical to serial solves.
 //!
-//! The engine's contract (DESIGN.md §10) is that the epoch-keyed
+//! The engine's contract (DESIGN.md §10–§11) is that the epoch-keyed
 //! artifact cache is a pure memoization layer — the bridge set, the
 //! RR-sketch index, and the resumable CELF trajectory may only change
 //! *when* work happens, never *what* is selected. These properties
@@ -12,17 +13,28 @@
 //! 2. a budget-changed request on a warm session (sketch index and
 //!    trajectory reused, trajectory extended) matches the cold solve
 //!    of that budget on a fresh session;
-//! 3. both hold at every thread count in {1, 2, 7} — the parallel
-//!    gain sweep partitions work but never reorders results.
+//! 3. both hold at every inner-sweep thread count in {1, 2, 7} — the
+//!    parallel gain sweep partitions work but never reorders results;
+//! 4. `solve_many` over a *shuffled* batch, fanned across {1, 2, 7}
+//!    workers, matches serial sorted-order solving on a fresh
+//!    session — worker identity, arrival order, and cache
+//!    interleaving never leak into the answers;
+//! 5. a batch of *identical* CELF requests racing on one session
+//!    builds the trajectory exactly once (single-builder/waiters),
+//!    and every waiter gets the builder's bits.
 //!
 //! "Bitwise" means protector identity **and** the `f64` σ̂ history
-//! compared via `to_bits` — no tolerance.
+//! compared via `to_bits` — no tolerance. Fingerprints deliberately
+//! exclude evaluation counts and cache counters: those describe how
+//! much work a particular interleaving did, not what was selected.
 
 use lcrb_repro::graph::generators;
 use lcrb_repro::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 
 const THREADS: [usize; 3] = [1, 2, 7];
 
@@ -62,6 +74,14 @@ fn fingerprint(report: &SolveReport) -> (Vec<NodeId>, Vec<u64>) {
     )
 }
 
+/// Runs `work` and returns its output with the session cache-counter
+/// delta it charged.
+fn charged<R>(solver: &Solver, work: impl FnOnce() -> R) -> (R, CacheStats) {
+    let before = solver.cache_stats();
+    let out = work();
+    (out, solver.cache_stats().delta_since(&before))
+}
+
 proptest! {
     #[test]
     fn same_request_twice_replays_bitwise(
@@ -71,13 +91,15 @@ proptest! {
     ) {
         let threads = THREADS[ti];
         let est = Estimator::Sketch(SketchParams::default());
-        let mut solver = session(seed);
+        let solver = session(seed);
         let first = solver.solve(&request(budget, threads, est)).expect("valid request");
-        let second = solver.solve(&request(budget, threads, est)).expect("valid request");
+        let (second, delta) =
+            charged(&solver, || solver.solve(&request(budget, threads, est)));
+        let second = second.expect("valid request");
         prop_assert_eq!(fingerprint(&first), fingerprint(&second));
         // The replay touched no new artifacts: every lookup hit.
-        prop_assert_eq!(second.cache_misses(), 0);
-        prop_assert!(second.cache_hits() > 0);
+        prop_assert_eq!(delta.misses(), 0);
+        prop_assert!(delta.hits() > 0);
     }
 
     #[test]
@@ -91,22 +113,24 @@ proptest! {
         let est = Estimator::Sketch(SketchParams::default());
         let large = small + extra;
 
-        let mut cold = session(seed);
+        let cold = session(seed);
         let cold_report = cold.solve(&request(large, threads, est)).expect("valid request");
 
-        let mut warm = session(seed);
+        let warm = session(seed);
         warm.solve(&request(small, threads, est)).expect("valid request");
-        let warm_report = warm.solve(&request(large, threads, est)).expect("valid request");
+        let (warm_report, delta) =
+            charged(&warm, || warm.solve(&request(large, threads, est)));
+        let warm_report = warm_report.expect("valid request");
 
         // The sketch index and bridge set were reused, the trajectory
         // extended — and the answer is still bit-for-bit the cold one.
-        prop_assert!(warm_report.cache_hits() > 0);
+        prop_assert!(delta.hits() > 0);
         prop_assert_eq!(fingerprint(&cold_report), fingerprint(&warm_report));
 
         // Shrinking back to the small budget replays the prefix the
         // warm session already served before the extension.
         let shrunk = warm.solve(&request(small, threads, est)).expect("valid request");
-        let mut fresh = session(seed);
+        let fresh = session(seed);
         let fresh_small = fresh.solve(&request(small, threads, est)).expect("valid request");
         prop_assert_eq!(fingerprint(&shrunk), fingerprint(&fresh_small));
     }
@@ -117,17 +141,94 @@ proptest! {
         budget in 1usize..5,
     ) {
         let est = Estimator::Sketch(SketchParams::default());
-        let mut base = session(seed);
+        let base = session(seed);
         let reference = base.solve(&request(budget, 1, est)).expect("valid request");
         for threads in [2usize, 7] {
-            let mut solver = session(seed);
+            let solver = session(seed);
             let report = solver.solve(&request(budget, threads, est)).expect("valid request");
             prop_assert_eq!(fingerprint(&reference), fingerprint(&report));
         }
         // A warm session serves a thread-count-changed ask from the
         // cache (the CELF key excludes `threads`) — still identical.
-        let warm = base.solve(&request(budget, 7, est)).expect("valid request");
+        let (warm, delta) = charged(&base, || base.solve(&request(budget, 7, est)));
+        let warm = warm.expect("valid request");
         prop_assert_eq!(fingerprint(&reference), fingerprint(&warm));
-        prop_assert_eq!(warm.cache_misses(), 0);
+        prop_assert_eq!(delta.misses(), 0);
+    }
+
+    #[test]
+    fn shuffled_batch_matches_serial_sorted_solving(
+        seed in 0u64..128,
+        budgets in proptest::collection::vec(1usize..6, 2..6),
+        shuffle_seed in 0u64..64,
+        wi in 0usize..3,
+    ) {
+        let workers = THREADS[wi];
+        let est = Estimator::Sketch(SketchParams::default());
+
+        // Reference: a fresh session answers every distinct budget
+        // serially, smallest first (so each later ask extends the
+        // trajectory the previous one left behind).
+        let mut sorted = budgets.clone();
+        sorted.sort_unstable();
+        let serial = session(seed);
+        let mut reference = BTreeMap::new();
+        for &budget in &sorted {
+            let report = serial.solve(&request(budget, 1, est)).expect("valid request");
+            reference.insert(budget, fingerprint(&report));
+        }
+
+        // Candidate: the same budgets, shuffled, as one `solve_many`
+        // batch on another fresh session. Workers race on the shared
+        // cache; budgets extend / replay / shrink the one trajectory
+        // in whatever order the scheduler produces.
+        let mut shuffled = budgets.clone();
+        shuffled.shuffle(&mut SmallRng::seed_from_u64(shuffle_seed));
+        let batch: Vec<SolveRequest> =
+            shuffled.iter().map(|&b| request(b, 1, est)).collect();
+        let solver = session(seed);
+        let reports = solver.solve_many_threaded(&batch, workers);
+        prop_assert_eq!(reports.len(), batch.len());
+        for (&budget, report) in shuffled.iter().zip(&reports) {
+            let report = report.as_ref().expect("valid request");
+            prop_assert_eq!(
+                reference.get(&budget).expect("reference covers every budget"),
+                &fingerprint(report)
+            );
+        }
+    }
+}
+
+/// Satellite stress: a batch of *identical* CELF requests racing on
+/// one session must build each artifact exactly once. With six
+/// same-key requests at six workers, the cold pass charges exactly
+/// one miss per family (bridge, sketch, trajectory) — three total —
+/// and every other lookup waits on the builder's gate and hits.
+#[test]
+fn concurrent_same_key_requests_build_each_artifact_once() {
+    let est = Estimator::Sketch(SketchParams::default());
+    let reference_session = session(42);
+    let reference = reference_session
+        .solve(&request(3, 1, est))
+        .expect("valid request");
+
+    for _round in 0..8 {
+        let solver = session(42);
+        let batch = vec![request(3, 1, est); 6];
+        let (reports, delta) = charged(&solver, || solver.solve_many_threaded(&batch, 6));
+        assert_eq!(
+            delta.misses(),
+            3,
+            "exactly one cold build per family (bridge, sketch, celf)"
+        );
+        assert_eq!(delta.hits(), 15, "five waiters hit each of three families");
+        for report in &reports {
+            let report = report.as_ref().expect("valid request");
+            assert_eq!(
+                fingerprint(&reference),
+                fingerprint(report),
+                "waiters must see the builder's bits"
+            );
+        }
     }
 }
