@@ -478,68 +478,6 @@ pub struct SolveReport {
 }
 
 impl SolveReport {
-    /// Total cache hits in the session when this solve completed.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// # #![allow(deprecated)]
-    /// use lcrb::engine::{Solver, SolveRequest};
-    /// use lcrb::RumorBlockingInstance;
-    /// use lcrb_community::Partition;
-    /// use lcrb_graph::{DiGraph, NodeId};
-    ///
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
-    /// let p = Partition::from_labels(vec![0, 0, 1, 1]);
-    /// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
-    /// let solver = Solver::new(inst);
-    /// let cold = solver.solve(&SolveRequest::greedy_budget(1))?;
-    /// assert_eq!(cold.cache_hits(), 0); // fresh session: nothing to hit
-    /// # Ok(())
-    /// # }
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "session-cumulative counters cannot be attributed to one solve under concurrency; \
-                diff `Solver::cache_stats` snapshots instead"
-    )]
-    #[must_use]
-    pub fn cache_hits(&self) -> u64 {
-        self.cache_snapshot.hits()
-    }
-
-    /// Total cache misses in the session when this solve completed.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// # #![allow(deprecated)]
-    /// use lcrb::engine::{Solver, SolveRequest};
-    /// use lcrb::RumorBlockingInstance;
-    /// use lcrb_community::Partition;
-    /// use lcrb_graph::{DiGraph, NodeId};
-    ///
-    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
-    /// let p = Partition::from_labels(vec![0, 0, 1, 1]);
-    /// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
-    /// let solver = Solver::new(inst);
-    /// let cold = solver.solve(&SolveRequest::greedy_budget(1))?;
-    /// assert!(cold.cache_misses() >= 2); // bridge + CELF trajectory
-    /// # Ok(())
-    /// # }
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "session-cumulative counters cannot be attributed to one solve under concurrency; \
-                diff `Solver::cache_stats` snapshots instead"
-    )]
-    #[must_use]
-    pub fn cache_misses(&self) -> u64 {
-        self.cache_snapshot.misses()
-    }
-
     /// Nanoseconds spent in `stage`, if it ran.
     ///
     /// # Examples
@@ -1637,8 +1575,9 @@ impl Solver {
     }
 
     /// Runs several selectors and Monte-Carlo evaluates their
-    /// selections under `model` — the engine-native form of
-    /// [`crate::evaluate::compare_selectors`].
+    /// selections under `model`, collecting the hop-series report
+    /// the paper's figures are built from
+    /// ([`crate::evaluate::HopSeriesReport`]).
     ///
     /// # Errors
     ///

@@ -6,8 +6,7 @@
 use lcrb_diffusion::{monte_carlo_csr, AveragedOutcome, MonteCarloConfig, TwoCascadeModel};
 use lcrb_graph::NodeId;
 
-use crate::engine::{Budgeted, Selector, Solver, SolverConfig};
-use crate::{LcrbError, ProtectorSelector, RumorBlockingInstance};
+use crate::{LcrbError, RumorBlockingInstance};
 
 /// One algorithm's evaluation: its protector set and the averaged
 /// diffusion it produced.
@@ -115,56 +114,11 @@ where
     Ok(HopSeriesReport { runs })
 }
 
-/// Runs each selector with the same `budget` (the paper's equal-seed
-/// comparison, §VI-B2) and evaluates the selections under `model`.
-/// Selector randomness is derived from `selection_seed` per selector
-/// name, so each strategy draws an independent deterministic stream.
-///
-/// **Deprecated shim**: this is now a thin wrapper that builds a
-/// one-shot [`Solver`] session (cloning the instance) and routes each
-/// selector through the [`Budgeted`] adapter. Code that compares
-/// strategies repeatedly should hold its own [`Solver`] and call
-/// [`Solver::compare`], which also admits engine-native
-/// [`crate::engine::SolveRequest`] selectors and reuses cached
-/// artifacts across calls.
-///
-/// # Errors
-///
-/// Returns [`LcrbError::Seeds`] if a selector produces an invalid
-/// set (a correct implementation never does).
-pub fn compare_selectors<M>(
-    instance: &RumorBlockingInstance,
-    model: &M,
-    selectors: &[&dyn ProtectorSelector],
-    budget: usize,
-    selection_seed: u64,
-    mc: &MonteCarloConfig,
-) -> Result<HopSeriesReport, LcrbError>
-where
-    M: TwoCascadeModel + Sync,
-{
-    let solver = Solver::with_config(
-        instance.clone(),
-        SolverConfig {
-            master_seed: selection_seed,
-        },
-    );
-    let adapters: Vec<Budgeted<'_>> = selectors
-        .iter()
-        .map(|&selector| Budgeted { selector, budget })
-        .collect();
-    let mut sets = Vec::with_capacity(adapters.len());
-    for adapter in &adapters {
-        let report = adapter.select(&solver)?;
-        sets.push((report.algorithm, report.protectors));
-    }
-    evaluate_protector_sets(instance, model, &sets, mc)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MaxDegreeSelector, NoBlockingSelector, ProximitySelector};
+    use crate::engine::{Budgeted, Selector, Solver, SolverConfig};
+    use crate::{MaxDegreeSelector, NoBlockingSelector, ProtectorSelector, ProximitySelector};
     use lcrb_community::Partition;
     use lcrb_diffusion::{DoamModel, OpoaoModel};
     use lcrb_graph::generators;
@@ -219,12 +173,37 @@ mod tests {
         .is_err());
     }
 
+    /// Runs each selector through a one-shot [`Solver`] session via
+    /// the [`Budgeted`] adapter and evaluates the selections — the
+    /// migration target for the removed `compare_selectors` shim.
+    fn run_selectors<M: TwoCascadeModel + Sync>(
+        inst: &RumorBlockingInstance,
+        model: &M,
+        selectors: &[&dyn ProtectorSelector],
+        budget: usize,
+        selection_seed: u64,
+        mc: &MonteCarloConfig,
+    ) -> HopSeriesReport {
+        let solver = Solver::with_config(
+            inst.clone(),
+            SolverConfig {
+                master_seed: selection_seed,
+            },
+        );
+        let mut sets = Vec::with_capacity(selectors.len());
+        for &selector in selectors {
+            let report = Budgeted { selector, budget }.select(&solver).unwrap();
+            sets.push((report.algorithm, report.protectors));
+        }
+        evaluate_protector_sets(inst, model, &sets, mc).unwrap()
+    }
+
     #[test]
-    fn compare_selectors_runs_all_strategies() {
+    fn budgeted_session_runs_all_strategies() {
         let inst = instance();
         let selectors: Vec<&dyn ProtectorSelector> =
             vec![&NoBlockingSelector, &MaxDegreeSelector, &ProximitySelector];
-        let report = compare_selectors(
+        let report = run_selectors(
             &inst,
             &OpoaoModel::new(10),
             &selectors,
@@ -234,8 +213,7 @@ mod tests {
                 runs: 5,
                 ..Default::default()
             },
-        )
-        .unwrap();
+        );
         assert_eq!(report.runs.len(), 3);
         assert_eq!(report.runs[0].name, "no-blocking");
         assert!(report.runs[0].protectors.is_empty());
@@ -246,7 +224,7 @@ mod tests {
     fn table_and_csv_rendering() {
         let inst = instance();
         let selectors: Vec<&dyn ProtectorSelector> = vec![&NoBlockingSelector];
-        let report = compare_selectors(
+        let report = run_selectors(
             &inst,
             &DoamModel::default(),
             &selectors,
@@ -256,8 +234,7 @@ mod tests {
                 runs: 1,
                 ..Default::default()
             },
-        )
-        .unwrap();
+        );
         let table = report.render_table();
         assert!(table.contains("no-blocking"));
         assert!(table.lines().count() >= 2);

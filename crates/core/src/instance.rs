@@ -226,6 +226,7 @@ impl RumorBlockingInstance {
     pub fn seed_sets(&self, protectors: Vec<NodeId>) -> Result<SeedSets, LcrbError> {
         Ok(SeedSets::new(
             &self.graph,
+            // xtask-allow: hotreach -- one-time lazy seed-pair construction; the CELF loop refills the cached pair in place
             self.rumor_seeds.clone(),
             protectors,
         )?)

@@ -24,7 +24,8 @@
 //! The crate also ships the paper's comparison heuristics
 //! ([`MaxDegreeSelector`], [`ProximitySelector`], plus
 //! [`RandomSelector`] and [`NoBlockingSelector`]) and the evaluation
-//! harness ([`evaluate::compare_selectors`]) behind its figures.
+//! harness behind its figures ([`engine::Solver::compare`] with
+//! [`evaluate::evaluate_protector_sets`]).
 //!
 //! ## Quickstart
 //!

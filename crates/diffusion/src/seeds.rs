@@ -116,7 +116,9 @@ pub struct SeedSets {
 }
 
 fn dedup_in_order(nodes: Vec<NodeId>, node_count: usize) -> Result<Vec<NodeId>, SeedError> {
+    // xtask-allow: hotreach -- validation-boundary allocation, runs once per seed-set construction, not per query
     let mut seen = vec![false; node_count];
+    // xtask-allow: hotreach -- validation-boundary allocation, runs once per seed-set construction, not per query
     let mut out = Vec::with_capacity(nodes.len());
     for v in nodes {
         if v.index() >= node_count {
@@ -148,6 +150,7 @@ impl SeedSets {
         let n = graph.node_count();
         let rumors = dedup_in_order(rumors, n)?;
         let protectors = dedup_in_order(protectors, n)?;
+        // xtask-allow: hotreach -- one-time overlap check at seed-set construction; per-query refills use set_protectors
         let mut is_rumor = vec![false; n];
         for &r in &rumors {
             is_rumor[r.index()] = true;

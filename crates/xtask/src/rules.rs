@@ -1,8 +1,11 @@
-//! The lint rules: scoping, test-code stripping, rule checks, and
-//! `xtask-allow` pragma application.
+//! The per-file lint rules: scoping, test-code stripping, rule
+//! checks, and `xtask-allow` pragma application. (The cross-file
+//! families — `lockorder`, `epochkey`, `hotreach`, `pubapi` — live in
+//! [`crate::wrules`] and run against the [`crate::model`] workspace
+//! model.)
 //!
-//! Eight rule families guard the invariants the paper reproduction
-//! depends on (see DESIGN.md §"Static analysis layer"):
+//! Nine per-file rule families guard the invariants the paper
+//! reproduction depends on (see DESIGN.md §"Static analysis layer"):
 //!
 //! - `determinism` — the LCRB-P greedy is only (1 − 1/e)-approximate
 //!   because σ(·) is estimated over coupled random realizations
@@ -42,8 +45,11 @@ use std::collections::BTreeSet;
 
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
-/// Rule identifiers accepted by `xtask-allow` pragmas.
-pub const KNOWN_RULES: [&str; 9] = [
+/// Rule identifiers accepted by `xtask-allow` pragmas. The first nine
+/// are per-file families; `lockorder`, `epochkey`, `hotreach`, and
+/// `pubapi` are the cross-file families run against the workspace
+/// model ([`crate::model`] / [`crate::wrules`]).
+pub const KNOWN_RULES: [&str; 13] = [
     "determinism",
     "panic",
     "index",
@@ -53,6 +59,10 @@ pub const KNOWN_RULES: [&str; 9] = [
     "attributes",
     "concurrency",
     "docexample",
+    "lockorder",
+    "epochkey",
+    "hotreach",
+    "pubapi",
 ];
 
 /// Crates whose result-producing code must not iterate hash
@@ -63,7 +73,7 @@ const DETERMINISM_CRATES: [&str; 4] = ["graph", "community", "diffusion", "core"
 /// the CSR traversal and objective/greedy/SCBG layers ported to the
 /// snapshot API in PR 2. Allocation and legacy `DiGraph` use here is
 /// flagged so the zero-allocation invariant cannot regress unnoticed.
-const HOT_FILES: [&str; 13] = [
+pub(crate) const HOT_FILES: [&str; 13] = [
     "crates/diffusion/src/model.rs",
     "crates/diffusion/src/opoao.rs",
     "crates/diffusion/src/doam.rs",
@@ -89,7 +99,7 @@ const NON_INDEX_KEYWORDS: [&str; 12] = [
 /// of these inside a guard's live range serializes the kernel work
 /// `solve_many` exists to fan out (and invites lock-order inversion
 /// against the cache's own family locks).
-const HOT_CALLS: [&str; 6] = [
+pub(crate) const HOT_CALLS: [&str; 6] = [
     "sigma_with",
     "sigma_with_cached_seeds",
     "run_into",
@@ -226,10 +236,21 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
 /// plus any pragma-hygiene problems.
 #[must_use]
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let lexed = lex(source);
+    let raw = lint_source_raw(rel_path, source, &lexed);
+    apply_allows(rel_path, &lexed, raw, true)
+}
+
+/// The per-file rule families without pragma application: the raw
+/// violation list for `rel_path`. The caller owns `apply_allows` so
+/// workspace-level diagnostics for the same file can share one pragma
+/// pass (an allow used only by a cross-file rule is then not
+/// "unused").
+#[must_use]
+pub(crate) fn lint_source_raw(rel_path: &str, source: &str, lexed: &Lexed) -> Vec<Violation> {
     let Some(class) = classify(rel_path) else {
         return Vec::new();
     };
-    let lexed = lex(source);
     let code = strip_test_code(&lexed.tokens);
 
     let mut raw = Vec::new();
@@ -250,13 +271,12 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
     if class.attributes_root {
         check_attributes(&lexed.tokens, rel_path, &mut raw);
     }
-
-    apply_allows(rel_path, &lexed, raw)
+    raw
 }
 
 /// Removes every item annotated `#[cfg(test)]` (and stacked
 /// attributes following it) from the token stream.
-fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+pub(crate) fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
     let mut out = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -896,8 +916,15 @@ fn check_attributes(tokens: &[Token], file: &str, out: &mut Vec<Violation>) {
 
 /// Applies `xtask-allow` pragmas to the raw violation list and
 /// appends pragma-hygiene diagnostics (unknown rule, missing
-/// justification, unused allow).
-fn apply_allows(file: &str, lexed: &Lexed, raw: Vec<Violation>) -> Vec<Violation> {
+/// justification, unused allow). `check_unused` is off when the rule
+/// set is filtered (`--rules`): a pragma whose rule family did not
+/// run cannot be judged unused.
+pub(crate) fn apply_allows(
+    file: &str,
+    lexed: &Lexed,
+    raw: Vec<Violation>,
+    check_unused: bool,
+) -> Vec<Violation> {
     // Effective line covered by each line-level pragma: its own line
     // if trailing, else the next line carrying any code token.
     let covered_line = |p: &crate::lexer::Pragma| -> Option<usize> {
@@ -967,7 +994,7 @@ fn apply_allows(file: &str, lexed: &Lexed, raw: Vec<Violation>) -> Vec<Violation
                 message: format!("`{scope}` requires a justification: `-- <why this is sound>`"),
             });
         }
-        if !used[pi] && p.rules.iter().all(|r| KNOWN_RULES.contains(&r.as_str())) {
+        if check_unused && !used[pi] && p.rules.iter().all(|r| KNOWN_RULES.contains(&r.as_str())) {
             out.push(Violation {
                 file: file.to_owned(),
                 line: p.line,
