@@ -83,7 +83,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
+
+// All blocking primitives come through the `lcrb-sync` facade: the
+// default backend is a zero-cost `std::sync` passthrough, while test
+// builds with the `sched` feature can run the whole cache protocol
+// under a deterministic scheduler (see `tests/concurrency_model.rs`).
+use lcrb_sync::{Condvar, Mutex, MutexGuard};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -650,20 +656,31 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// A one-shot broadcast latch: waiters block until the first `open`.
+/// A one-shot broadcast latch: waiters block until the first
+/// [`Gate::open`].
+///
+/// This is the wakeup primitive behind every "single builder, many
+/// waiters" protocol in the engine ([`FamilyCache`] build markers and
+/// the CELF trajectory leases). It is `pub` so the schedule-exploration
+/// tests (`tests/concurrency_model.rs`) can model-check the primitive
+/// itself; production code has no reason to construct one.
 #[derive(Debug, Default)]
-struct Gate {
+pub struct Gate {
     done: Mutex<bool>,
     cv: Condvar,
 }
 
 impl Gate {
-    fn open(&self) {
+    /// Opens the gate and wakes every current and future waiter.
+    /// Idempotent: the flag is monotone.
+    pub fn open(&self) {
         *lock(&self.done) = true;
         self.cv.notify_all();
     }
 
-    fn wait(&self) {
+    /// Blocks until the gate is open; returns immediately if it
+    /// already is.
+    pub fn wait(&self) {
         let mut done = lock(&self.done);
         while !*done {
             done = self
@@ -715,8 +732,12 @@ enum Slot<V> {
 ///
 /// The family mutex is held only for map bookkeeping — never across a
 /// build, a wait, or any simulation call.
+///
+/// `pub` for the same reason as [`Gate`]: the deterministic-schedule
+/// tests drive the probe-or-publish race on the real type. The engine
+/// itself only uses it through [`ArtifactCache`].
 #[derive(Debug)]
-struct FamilyCache<K, V> {
+pub struct FamilyCache<K, V> {
     map: Mutex<BTreeMap<K, (u64, Slot<V>)>>,
     counters: FamilyCounters,
 }
@@ -772,7 +793,17 @@ enum Probe {
 }
 
 impl<K: Copy + Ord, V: Clone> FamilyCache<K, V> {
-    fn get_or_try_build<E>(
+    /// Returns the current-epoch artifact for `key`, building it with
+    /// `build` on a miss. Concurrent same-key callers build exactly
+    /// once: one claims the slot, the rest park on its [`Gate`] and
+    /// clone the published value. A failed (or panicked) build vacates
+    /// the slot and frees the waiters to retry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; the cache keeps no trace of the
+    /// failed attempt beyond the charged miss.
+    pub fn get_or_try_build<E>(
         &self,
         key: K,
         epoch: u64,
@@ -808,6 +839,10 @@ impl<K: Copy + Ord, V: Clone> FamilyCache<K, V> {
                         gate,
                         armed: true,
                     };
+                    // Injectable failure between claiming the slot and
+                    // running the builder: the guard must vacate the
+                    // marker and open the gate during unwind.
+                    lcrb_sync::fault::point("family.build");
                     // The build runs outside every lock; on error the
                     // guard vacates the slot and frees the waiters.
                     let value = build()?;
@@ -819,15 +854,23 @@ impl<K: Copy + Ord, V: Clone> FamilyCache<K, V> {
         }
     }
 
-    fn get_or_build(&self, key: K, epoch: u64, build: impl FnOnce() -> V) -> V {
+    /// [`FamilyCache::get_or_try_build`] for infallible builders.
+    pub fn get_or_build(&self, key: K, epoch: u64, build: impl FnOnce() -> V) -> V {
         match self.get_or_try_build(key, epoch, || Ok::<_, std::convert::Infallible>(build())) {
             Ok(v) => v,
             Err(never) => match never {},
         }
     }
 
-    fn clear(&self) {
+    /// Drops every slot (values and in-progress markers alike).
+    pub fn clear(&self) {
         lock(&self.map).clear();
+    }
+
+    /// Snapshot of the family's cumulative hit/miss counters.
+    #[must_use]
+    pub fn counter_snapshot(&self) -> CacheCounters {
+        self.counters.snapshot()
     }
 }
 
@@ -1544,7 +1587,7 @@ impl Solver {
             return requests.iter().map(|r| self.solve(r)).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut indexed = std::thread::scope(|scope| {
+        let mut indexed = lcrb_sync::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for _ in 0..threads {
                 let next = &next;
@@ -1714,6 +1757,10 @@ impl Solver {
             ))
         });
         let evals_before = traj.evaluations();
+        // Injectable failure while the lease holds the trajectory: the
+        // lease drop must vacate the slot so the next same-key solve
+        // cold-builds instead of resuming a half-advanced prefix.
+        lcrb_sync::fault::point("celf.advance");
         // On error the lease drops without storing: the slot is
         // vacated and the next same-key solve cold-builds, never
         // inheriting a partially extended trajectory after a failed

@@ -20,7 +20,8 @@
 
 use core::fmt;
 use core::ops::{Deref, DerefMut};
-use std::sync::Mutex;
+
+use lcrb_sync::{Mutex, MutexGuard, PoisonError};
 
 /// A thread-safe LIFO free list of reusable scratch values.
 ///
@@ -67,10 +68,8 @@ impl<T> ScratchPool<T> {
     /// Locks the free list, recovering the value even if another
     /// thread panicked mid-push (a poisoned `Vec<T>` is still a valid
     /// free list: the worst case is a lost park, never a torn value).
-    fn free(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
-        self.free
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn free(&self) -> MutexGuard<'_, Vec<T>> {
+        self.free.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of values currently parked in the pool.
@@ -95,10 +94,15 @@ impl<T: Default> ScratchPool<T> {
     #[must_use]
     pub fn lease(&self) -> ScratchLease<'_, T> {
         let value = self.free().pop().unwrap_or_default();
-        ScratchLease {
+        let lease = ScratchLease {
             pool: self,
             value: Some(value),
-        }
+        };
+        // Injectable failure after the value left the free list but
+        // before the caller sees the guard: the guard's drop must park
+        // the value back during unwind.
+        lcrb_sync::fault::point("scratch.lease");
+        lease
     }
 }
 

@@ -1,0 +1,197 @@
+//! Zero-cost std passthrough backend (default).
+//!
+//! Every type is a `#[repr(transparent)]`-shaped newtype over its
+//! `std::sync` counterpart and every method is an `#[inline]` one-line
+//! delegate, so release codegen is identical to using `std::sync`
+//! directly. Poison semantics are preserved: `lock`/`wait` return
+//! [`LockResult`] over the facade guard, built from the std error via
+//! [`PoisonError::into_inner`] / [`PoisonError::new`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError};
+
+/// Mutual-exclusion primitive; a thin wrapper over [`std::sync::Mutex`].
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    #[inline]
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex, blocking until it is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PoisonError`] carrying the guard if another thread
+    /// panicked while holding this mutex (same contract as std).
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match self.inner.lock() {
+            Ok(inner) => Ok(MutexGuard { inner }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: poisoned.into_inner(),
+            })),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    inner: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Condition variable; a thin wrapper over [`std::sync::Condvar`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[inline]
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// reacquires the mutex and returns the guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PoisonError`] carrying the reacquired guard if the
+    /// mutex was poisoned while this thread was waiting.
+    #[inline]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match self.inner.wait(guard.inner) {
+            Ok(inner) => Ok(MutexGuard { inner }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                inner: poisoned.into_inner(),
+            })),
+        }
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`] on this condvar.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`] on this condvar.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Scoped-thread facade mirroring [`std::thread::scope`].
+pub mod thread {
+    use std::fmt;
+
+    /// Creates a scope for spawning borrowing threads; equivalent to
+    /// [`std::thread::scope`] except the closure receives the facade
+    /// [`Scope`] **by value** (it is `Copy`-free but reusable through
+    /// `&self` methods).
+    #[inline]
+    pub fn scope<'env, T, F>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`; the thread is joined
+        /// (or its panic re-raised) before the scope returns.
+        #[inline]
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    impl fmt::Debug for Scope<'_, '_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Scope").finish_non_exhaustive()
+        }
+    }
+
+    /// Join handle for a thread spawned via [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload (same contract as std).
+        ///
+        /// # Errors
+        ///
+        /// Returns the payload if the spawned thread panicked.
+        #[inline]
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<T> fmt::Debug for ScopedJoinHandle<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ScopedJoinHandle").finish_non_exhaustive()
+        }
+    }
+}

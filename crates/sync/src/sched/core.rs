@@ -1,0 +1,510 @@
+//! Scheduler core: logical-thread bookkeeping, the decision engine,
+//! and the blocking operations the facade types delegate to.
+//!
+//! At most one logical thread runs at a time. Every other registered
+//! thread is parked inside [`Scheduler::park`] on the scheduler's own
+//! (real) condvar. A context switch happens only at an explicit
+//! operation — lock acquire, condvar wait, notify-one wakeup choice,
+//! spawn, join, fault point — and each switch appends one
+//! [`Decision`] `(chosen, arity)` to the run's decision list, which is
+//! the complete replayable description of the schedule.
+//!
+//! Deadlock (no runnable, not all finished) and step-budget overflow
+//! set the run's `abort` message; every parked thread then wakes and
+//! panics, unwinding its stack so scoped borrows are released and the
+//! run's driver can report the failure with its replay string. During
+//! that shutdown, facade operations on already-unwinding threads
+//! degrade to plain std behaviour (`Bypassed`) so that drop guards
+//! never panic inside a panic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{OnceLock, PoisonError};
+
+/// Logical thread id within one model run (root is 0).
+pub(crate) type Tid = usize;
+
+/// Panic-message prefix used when the scheduler kills parked threads
+/// after an abort (deadlock / step budget); the driver recognizes it.
+pub(crate) const ABORT_PANIC_PREFIX: &str = "lcrb-sync schedule abort";
+
+/// One scheduling decision: index `chosen` out of `arity` equally
+/// legal alternatives (runnable threads, or condvar waiters for a
+/// `notify_one`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Decision {
+    pub chosen: usize,
+    pub arity: usize,
+}
+
+/// How choices beyond the replay prefix are made.
+#[derive(Debug)]
+pub(crate) enum Picker {
+    /// Always take alternative 0 (the DFS driver enumerates siblings
+    /// through the replay prefix).
+    Dfs,
+    /// splitmix64 stream from the given seed.
+    Seeded(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Running,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(Tid),
+    Finished,
+}
+
+/// Signals that the calling thread is unwinding while the run is
+/// aborting; the facade op should fall through to plain std behaviour.
+pub(crate) struct Bypassed;
+
+pub(crate) struct SchedState {
+    statuses: Vec<Status>,
+    panicked: Vec<bool>,
+    current: Option<Tid>,
+    /// Mutex id -> owning logical thread.
+    owners: BTreeMap<usize, Tid>,
+    /// Condvar id -> explicit FIFO wakeup set. `notify_one` removes
+    /// one chosen entry; a notify with an empty set is a lost wakeup.
+    wait_sets: BTreeMap<usize, Vec<Tid>>,
+    /// Forced choices (replay prefix), then `picker` takes over.
+    replay: Vec<usize>,
+    cursor: usize,
+    picker: Picker,
+    pub decisions: Vec<Decision>,
+    max_steps: usize,
+    /// Failure description; once set the run is shutting down.
+    pub abort: Option<String>,
+    /// Armed fault points: name -> remaining executions before firing.
+    faults: BTreeMap<String, u64>,
+}
+
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    pub(crate) fn new(picker: Picker, replay: Vec<usize>, max_steps: usize) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                statuses: vec![Status::Running],
+                panicked: vec![false],
+                current: Some(0),
+                owners: BTreeMap::new(),
+                wait_sets: BTreeMap::new(),
+                replay,
+                cursor: 0,
+                picker,
+                decisions: Vec::new(),
+                max_steps,
+                abort: None,
+                faults: BTreeMap::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdMutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of (decisions, abort) for the run driver.
+    pub(crate) fn snapshot(&self) -> (Vec<Decision>, Option<String>) {
+        let st = self.lock_state();
+        (st.decisions.clone(), st.abort.clone())
+    }
+
+    fn runnable_set(st: &SchedState) -> Vec<Tid> {
+        st.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Makes one recorded choice among `arity` alternatives.
+    fn decide(st: &mut SchedState, arity: usize) -> usize {
+        debug_assert!(arity > 0);
+        let chosen = if st.cursor < st.replay.len() {
+            let c = st.replay[st.cursor].min(arity - 1);
+            st.cursor += 1;
+            c
+        } else {
+            match &mut st.picker {
+                Picker::Dfs => 0,
+                Picker::Seeded(seed) => (splitmix64(seed) % arity as u64) as usize,
+            }
+        };
+        st.decisions.push(Decision { chosen, arity });
+        chosen
+    }
+
+    fn describe_blocked(st: &SchedState) -> String {
+        let mut parts = Vec::new();
+        for (tid, s) in st.statuses.iter().enumerate() {
+            let what = match s {
+                Status::BlockedMutex(m) => format!("t{tid} blocked on mutex #{m}"),
+                Status::BlockedCondvar(c) => format!("t{tid} waiting on condvar #{c}"),
+                Status::BlockedJoin(j) => format!("t{tid} joining t{j}"),
+                _ => continue,
+            };
+            parts.push(what);
+        }
+        parts.join(", ")
+    }
+
+    /// Picks the next thread to run and wakes it. The caller must have
+    /// moved the calling thread out of `Running` first. Sets `abort`
+    /// on deadlock or step-budget overflow.
+    fn pick_next(&self, st: &mut SchedState) {
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = Self::runnable_set(st);
+        if runnable.is_empty() {
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                st.current = None;
+                return;
+            }
+            st.abort = Some(format!(
+                "deadlock: no runnable thread ({})",
+                Self::describe_blocked(st)
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        if st.decisions.len() >= st.max_steps {
+            st.abort = Some(format!(
+                "step budget exceeded ({} scheduling decisions)",
+                st.max_steps
+            ));
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = Self::decide(st, runnable.len());
+        st.current = Some(runnable[chosen]);
+        self.cv.notify_all();
+    }
+
+    /// Parks the calling thread until it is scheduled again.
+    ///
+    /// On abort: panics (killing the thread so its stack unwinds and
+    /// scoped borrows are released) unless the thread is *already*
+    /// unwinding, in which case the caller gets [`Bypassed`] and falls
+    /// through to plain std behaviour.
+    fn park<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, SchedState>,
+        tid: Tid,
+    ) -> Result<StdMutexGuard<'a, SchedState>, Bypassed> {
+        loop {
+            if let Some(msg) = &st.abort {
+                if std::thread::panicking() {
+                    return Err(Bypassed);
+                }
+                let msg = msg.clone();
+                drop(st);
+                panic!("{ABORT_PANIC_PREFIX}: {msg}");
+            }
+            if st.current == Some(tid) && st.statuses[tid] == Status::Runnable {
+                st.statuses[tid] = Status::Running;
+                return Ok(st);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Preemption point: lets any runnable thread (including the
+    /// caller) run next. Returns `false` when bypassed during abort.
+    pub(crate) fn op_yield(&self, tid: Tid) -> bool {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return self.kill_or_bypass(st).is_err();
+        }
+        st.statuses[tid] = Status::Runnable;
+        self.pick_next(&mut st);
+        self.park(st, tid).is_ok()
+    }
+
+    /// On abort outside a park loop: kill the thread (panic) unless it
+    /// is already unwinding. `Ok(())` is never returned; the Result
+    /// shape keeps call sites uniform.
+    fn kill_or_bypass(&self, st: StdMutexGuard<'_, SchedState>) -> Result<(), Bypassed> {
+        if std::thread::panicking() {
+            return Err(Bypassed);
+        }
+        let msg = st.abort.clone().unwrap_or_default();
+        drop(st);
+        panic!("{ABORT_PANIC_PREFIX}: {msg}");
+    }
+
+    /// Model-acquires mutex `mid` for `tid` (preemption point, then
+    /// blocking acquire). Returns `false` when bypassed during abort —
+    /// the facade then takes the raw lock without bookkeeping.
+    pub(crate) fn op_lock(&self, tid: Tid, mid: usize) -> bool {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return !matches!(self.kill_or_bypass(st), Err(Bypassed));
+        }
+        st.statuses[tid] = Status::Runnable;
+        self.pick_next(&mut st);
+        st = match self.park(st, tid) {
+            Ok(g) => g,
+            Err(Bypassed) => return false,
+        };
+        loop {
+            if let std::collections::btree_map::Entry::Vacant(e) = st.owners.entry(mid) {
+                e.insert(tid);
+                return true;
+            }
+            st.statuses[tid] = Status::BlockedMutex(mid);
+            self.pick_next(&mut st);
+            st = match self.park(st, tid) {
+                Ok(g) => g,
+                Err(Bypassed) => return false,
+            };
+        }
+    }
+
+    /// Model-releases mutex `mid`; every thread blocked on it becomes
+    /// runnable and re-contends at its next scheduling. Not a
+    /// preemption point (the next acquire/wait exposes the race).
+    pub(crate) fn op_unlock(&self, _tid: Tid, mid: usize) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return;
+        }
+        st.owners.remove(&mid);
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedMutex(mid) {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
+    /// Condvar wait: atomically releases `mid`, enters `cvid`'s wakeup
+    /// set, parks until notified *and* scheduled, then model-reacquires
+    /// `mid`. Returns `false` when bypassed during abort.
+    pub(crate) fn op_cv_wait(&self, tid: Tid, cvid: usize, mid: usize) -> bool {
+        {
+            let mut st = self.lock_state();
+            if st.abort.is_some() {
+                return !matches!(self.kill_or_bypass(st), Err(Bypassed));
+            }
+            st.owners.remove(&mid);
+            for s in st.statuses.iter_mut() {
+                if *s == Status::BlockedMutex(mid) {
+                    *s = Status::Runnable;
+                }
+            }
+            st.wait_sets.entry(cvid).or_default().push(tid);
+            st.statuses[tid] = Status::BlockedCondvar(cvid);
+            self.pick_next(&mut st);
+            match self.park(st, tid) {
+                Ok(g) => drop(g),
+                Err(Bypassed) => return false,
+            }
+        }
+        self.op_lock(tid, mid)
+    }
+
+    /// Notify: wakes one chosen waiter (the choice is itself a
+    /// recorded decision) or all waiters. A notify with an empty
+    /// wakeup set is a lost wakeup and does nothing — which is what
+    /// makes lost-wakeup protocol bugs observable as deadlocks.
+    pub(crate) fn op_notify(&self, _tid: Tid, cvid: usize, all: bool) {
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return;
+        }
+        let waiters = match st.wait_sets.get(&cvid) {
+            Some(w) if !w.is_empty() => w.len(),
+            _ => return,
+        };
+        if all {
+            let woken = st
+                .wait_sets
+                .get_mut(&cvid)
+                .map(std::mem::take)
+                .unwrap_or_default();
+            for t in woken {
+                st.statuses[t] = Status::Runnable;
+            }
+        } else {
+            let chosen = Self::decide(&mut st, waiters);
+            if let Some(set) = st.wait_sets.get_mut(&cvid) {
+                if chosen < set.len() {
+                    let woken = set.remove(chosen);
+                    st.statuses[woken] = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Registers a new logical thread (runnable, not yet entered).
+    /// Not a preemption point; the spawner yields after the OS thread
+    /// actually exists.
+    pub(crate) fn op_register_thread(&self) -> Tid {
+        let mut st = self.lock_state();
+        let tid = st.statuses.len();
+        st.statuses.push(Status::Runnable);
+        st.panicked.push(false);
+        tid
+    }
+
+    /// First park of a freshly spawned logical thread.
+    pub(crate) fn op_enter(&self, tid: Tid) {
+        let st = self.lock_state();
+        match self.park(st, tid) {
+            Ok(_) | Err(Bypassed) => {}
+        }
+    }
+
+    /// Marks `tid` finished (recording whether it panicked), wakes its
+    /// joiners, and passes the schedule on.
+    pub(crate) fn op_finish(&self, tid: Tid, panicked: bool) {
+        let mut st = self.lock_state();
+        st.statuses[tid] = Status::Finished;
+        st.panicked[tid] = panicked;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::BlockedJoin(tid) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.abort.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        if st.current == Some(tid) {
+            self.pick_next(&mut st);
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Logical join: parks until `child` finishes. Returns whether the
+    /// child panicked; `None` when bypassed during abort (the caller's
+    /// raw `std` join does the real waiting then).
+    pub(crate) fn op_join(&self, tid: Tid, child: Tid) -> Option<bool> {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort.is_some() {
+                return match self.kill_or_bypass(st) {
+                    Err(Bypassed) => None,
+                    Ok(()) => unreachable!("kill_or_bypass never returns Ok"),
+                };
+            }
+            if st.statuses[child] == Status::Finished {
+                return Some(st.panicked[child]);
+            }
+            st.statuses[tid] = Status::BlockedJoin(child);
+            self.pick_next(&mut st);
+            st = match self.park(st, tid) {
+                Ok(g) => g,
+                Err(Bypassed) => return None,
+            };
+        }
+    }
+
+    /// Arms the named fault point to fire on its `nth` execution
+    /// (1-based) within this run.
+    pub(crate) fn arm_fault(&self, name: &str, nth: u64) {
+        let mut st = self.lock_state();
+        st.faults.insert(name.to_owned(), nth.max(1));
+    }
+
+    /// Executes a fault point: a preemption point that additionally
+    /// reports whether the armed fault fires here.
+    pub(crate) fn op_fault(&self, tid: Tid, name: &str) -> bool {
+        if !self.op_yield(tid) {
+            return false;
+        }
+        let mut st = self.lock_state();
+        if st.abort.is_some() {
+            return false;
+        }
+        match st.faults.get_mut(name) {
+            Some(remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    st.faults.remove(name);
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+/// Per-OS-thread pointer to the active model run, if any.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sched: Arc<Scheduler>,
+    pub tid: Tid,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The calling OS thread's model context (None = passthrough mode).
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// RAII registration of a spawned logical thread: sets the TLS
+/// context, parks until first scheduled; on drop reports the thread
+/// finished (panicked = currently unwinding) and clears the TLS.
+pub(crate) struct ThreadEnter {
+    sched: Arc<Scheduler>,
+    tid: Tid,
+}
+
+impl ThreadEnter {
+    pub(crate) fn new(sched: Arc<Scheduler>, tid: Tid) -> Self {
+        set_current(Some(Ctx {
+            sched: Arc::clone(&sched),
+            tid,
+        }));
+        let me = Self { sched, tid };
+        me.sched.op_enter(tid);
+        me
+    }
+}
+
+impl Drop for ThreadEnter {
+    fn drop(&mut self) {
+        set_current(None);
+        self.sched.op_finish(self.tid, std::thread::panicking());
+    }
+}
+
+static NEXT_OBJECT_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily assigns a process-unique id to a model object (mutex or
+/// condvar). Ids only key scheduler state maps; decisions are over
+/// thread ids, so the values need not be stable across runs.
+pub(crate) fn object_id(slot: &OnceLock<usize>) -> usize {
+    *slot.get_or_init(|| NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed))
+}

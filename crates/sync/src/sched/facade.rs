@@ -1,0 +1,428 @@
+//! Facade types for the `sched` backend.
+//!
+//! Same public surface as the std passthrough backend, but every
+//! operation first checks the thread-local model context: inside a
+//! model run it routes through the scheduler (becoming a recorded
+//! scheduling decision), outside one it falls through to the plain
+//! std primitive. Data always lives in a real `std::sync::Mutex`, so
+//! poison semantics — a panicking holder poisons the lock — come for
+//! free in both modes.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, LockResult, OnceLock, PoisonError};
+
+use super::core::{self, object_id, Ctx, ThreadEnter};
+
+/// Mutual-exclusion primitive: std mutex data storage plus model
+/// ownership bookkeeping inside an active model run.
+#[derive(Default)]
+pub struct Mutex<T> {
+    id: OnceLock<usize>,
+    data: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex holding `value`.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Self {
+            id: OnceLock::new(),
+            data: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn model_id(&self) -> usize {
+        object_id(&self.id)
+    }
+
+    fn wrap<'a>(
+        &'a self,
+        raw: LockResult<std::sync::MutexGuard<'a, T>>,
+        modeled: Option<Ctx>,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        match raw {
+            Ok(inner) => Ok(MutexGuard {
+                mutex: self,
+                inner: Some(inner),
+                modeled,
+            }),
+            Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                mutex: self,
+                inner: Some(poisoned.into_inner()),
+                modeled,
+            })),
+        }
+    }
+
+    /// Acquires the mutex. Inside a model run this is a scheduling
+    /// decision point (preemption before the acquire, blocking via the
+    /// scheduler); outside one it is a plain std lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PoisonError`] carrying the guard if a holder
+    /// panicked (same contract as std).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(ctx) = core::current() {
+            if ctx.sched.op_lock(ctx.tid, self.model_id()) {
+                // We are the logical owner; the raw lock is free modulo
+                // abort-unwinding threads releasing theirs.
+                return self.wrap(self.data.lock(), Some(ctx));
+            }
+        }
+        self.wrap(self.data.lock(), None)
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the raw lock and
+/// the model ownership on drop.
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// `Some` iff this guard holds model ownership that must be
+    /// released through the scheduler.
+    modeled: Option<Ctx>,
+}
+
+impl<T> MutexGuard<'_, T> {
+    /// Drops the raw guard and forgets model ownership *without*
+    /// releasing it — used by [`Condvar::wait`], whose model op
+    /// releases the mutex atomically with entering the wakeup set.
+    fn clear_for_wait(&mut self) {
+        self.inner = None;
+        self.modeled = None;
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Raw release first, then model release; no decision point
+        // runs in between because this thread stays scheduled.
+        self.inner = None;
+        if let Some(ctx) = self.modeled.take() {
+            ctx.sched.op_unlock(ctx.tid, self.mutex.model_id());
+        }
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Condition variable with an explicit model wakeup set inside model
+/// runs; plain std condvar otherwise.
+#[derive(Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+    cv: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            id: OnceLock::new(),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// reacquires the mutex and returns the guard. Inside a model run
+    /// the wait enters this condvar's explicit wakeup set: if no
+    /// matching notify ever arrives, the thread stays blocked and the
+    /// scheduler reports a deadlock (lost wakeups are observable).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PoisonError`] carrying the reacquired guard if the
+    /// mutex was poisoned while waiting.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mut guard = guard;
+        if let (Some(ctx), true) = (core::current(), guard.modeled.is_some()) {
+            let mutex = guard.mutex;
+            let mid = mutex.model_id();
+            // Release the raw lock now; the model op releases the
+            // ownership atomically with entering the wakeup set, and
+            // no other logical thread runs in between.
+            guard.clear_for_wait();
+            drop(guard);
+            let modeled = ctx.sched.op_cv_wait(ctx.tid, self.model_id(), mid);
+            return mutex.wrap(mutex.data.lock(), modeled.then_some(ctx));
+        }
+        // Passthrough (or a guard taken outside the model): real wait.
+        let mutex = guard.mutex;
+        let inner = guard
+            .inner
+            .take()
+            .unwrap_or_else(|| unreachable!("guard accessed after release"));
+        guard.modeled = None;
+        drop(guard);
+        mutex.wrap(self.cv.wait(inner), None)
+    }
+
+    fn model_id(&self) -> usize {
+        object_id(&self.id)
+    }
+
+    /// Wakes one waiter. Inside a model run, *which* waiter wakes is a
+    /// recorded scheduling decision; with an empty wakeup set the
+    /// notification is lost, exactly like the real primitive.
+    pub fn notify_one(&self) {
+        if let Some(ctx) = core::current() {
+            ctx.sched.op_notify(ctx.tid, self.model_id(), false);
+        }
+        self.cv.notify_one();
+    }
+
+    /// Wakes every waiter in the wakeup set.
+    pub fn notify_all(&self) {
+        if let Some(ctx) = core::current() {
+            ctx.sched.op_notify(ctx.tid, self.model_id(), true);
+        }
+        self.cv.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Scoped-thread facade. Inside a model run every spawned thread
+/// becomes a logical thread: it parks until scheduled, its panics are
+/// contained (payloads travel through [`ScopedJoinHandle::join`], as
+/// with std), and the scope logically joins every unjoined thread
+/// before closing so the scheduler always knows who can run.
+pub mod thread {
+    use super::*;
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Tracks logical threads spawned in a scope and not yet joined.
+    #[derive(Default)]
+    pub(super) struct ScopeTracker {
+        unjoined: std::sync::Mutex<Vec<core::Tid>>,
+    }
+
+    impl ScopeTracker {
+        fn push(&self, tid: core::Tid) {
+            self.unjoined
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(tid);
+        }
+
+        fn remove(&self, tid: core::Tid) {
+            self.unjoined
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain(|t| *t != tid);
+        }
+
+        fn take_all(&self) -> Vec<core::Tid> {
+            let mut unjoined = self.unjoined.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *unjoined)
+        }
+    }
+
+    /// Logically joins every unjoined scoped thread when the scope
+    /// body finishes (normally or by unwind), so the raw scope close
+    /// never blocks on a thread the scheduler still controls.
+    struct ScopeJoiner {
+        ctx: Ctx,
+        tracker: Arc<ScopeTracker>,
+    }
+
+    impl Drop for ScopeJoiner {
+        fn drop(&mut self) {
+            let pending = self.tracker.take_all();
+            if pending.is_empty() {
+                return;
+            }
+            let mut any_panicked = false;
+            for tid in pending {
+                match self.ctx.sched.op_join(self.ctx.tid, tid) {
+                    Some(panicked) => any_panicked |= panicked,
+                    // Abort shutdown: the raw scope close joins the
+                    // (self-killing) OS threads.
+                    None => return,
+                }
+            }
+            if any_panicked && !std::thread::panicking() {
+                // Mirror std's scope semantics for unjoined panicked
+                // threads; their payloads were contained by the spawn
+                // wrapper, so the raw scope will not re-raise.
+                panic!("a scoped thread panicked");
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; see
+    /// [`std::thread::scope`]. The closure receives the facade
+    /// [`Scope`] by value.
+    pub fn scope<'env, T, F>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+    {
+        match core::current() {
+            Some(ctx) => {
+                let tracker = Arc::new(ScopeTracker::default());
+                std::thread::scope(|s| {
+                    let _joiner = ScopeJoiner {
+                        ctx: ctx.clone(),
+                        tracker: Arc::clone(&tracker),
+                    };
+                    f(Scope {
+                        inner: s,
+                        model: Some((ctx.clone(), Arc::clone(&tracker))),
+                    })
+                })
+            }
+            None => std::thread::scope(|s| {
+                f(Scope {
+                    inner: s,
+                    model: None,
+                })
+            }),
+        }
+    }
+
+    /// Handle for spawning threads inside a [`scope`] call.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        model: Option<(Ctx, Arc<ScopeTracker>)>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`. Inside a model run the
+        /// thread is registered with the scheduler before its OS
+        /// thread starts, and the spawner hits a preemption point
+        /// right after — so "child runs first" schedules are explored.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            match &self.model {
+                None => ScopedJoinHandle {
+                    kind: HandleKind::Raw(self.inner.spawn(f)),
+                },
+                Some((ctx, tracker)) => {
+                    let tid = ctx.sched.op_register_thread();
+                    tracker.push(tid);
+                    let sched = Arc::clone(&ctx.sched);
+                    let handle = self.inner.spawn(move || {
+                        // The whole logical thread (including its
+                        // scheduler registration) runs under
+                        // catch_unwind: panics — injected faults,
+                        // assertion failures, abort kills — are
+                        // contained here and re-raised only through
+                        // `join`, never through the raw scope close.
+                        catch_unwind(AssertUnwindSafe(move || {
+                            let _enter = ThreadEnter::new(sched, tid);
+                            f()
+                        }))
+                    });
+                    ctx.sched.op_yield(ctx.tid);
+                    ScopedJoinHandle {
+                        kind: HandleKind::Model {
+                            inner: handle,
+                            tid,
+                            tracker: Arc::clone(tracker),
+                        },
+                    }
+                }
+            }
+        }
+    }
+
+    impl fmt::Debug for Scope<'_, '_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Scope").finish_non_exhaustive()
+        }
+    }
+
+    /// Join handle for a thread spawned via [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        kind: HandleKind<'scope, T>,
+    }
+
+    enum HandleKind<'scope, T> {
+        /// Passthrough handle (no model run active at spawn time).
+        Raw(std::thread::ScopedJoinHandle<'scope, T>),
+        /// Model handle: the payload-containing wrapper result plus
+        /// the logical thread to join through the scheduler.
+        Model {
+            inner: std::thread::ScopedJoinHandle<'scope, Result<T, Payload>>,
+            tid: core::Tid,
+            tracker: Arc<ScopeTracker>,
+        },
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or its
+        /// panic payload (same contract as std).
+        ///
+        /// # Errors
+        ///
+        /// Returns the payload if the spawned thread panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.kind {
+                HandleKind::Raw(h) => h.join(),
+                HandleKind::Model {
+                    inner,
+                    tid,
+                    tracker,
+                } => {
+                    if let Some(ctx) = core::current() {
+                        // Logical join first: park until the child's
+                        // logical thread finishes (or bypass during
+                        // abort — the raw join below blocks for real).
+                        let _ = ctx.sched.op_join(ctx.tid, tid);
+                    }
+                    tracker.remove(tid);
+                    match inner.join() {
+                        Ok(result) => result,
+                        Err(payload) => Err(payload),
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for ScopedJoinHandle<'_, T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("ScopedJoinHandle").finish_non_exhaustive()
+        }
+    }
+}

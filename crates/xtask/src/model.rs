@@ -404,9 +404,22 @@ impl WorkspaceModel {
 
     /// First ident in a type token list that names a workspace struct
     /// (skips wrappers like `Arc`, `Option`, references).
+    ///
+    /// Structs defined in the `lcrb-sync` facade (`Mutex`,
+    /// `MutexGuard`, `Condvar`, the scope types) are treated as
+    /// transparent synchronization primitives, exactly like their
+    /// `std::sync` namesakes: a field typed `Mutex<..>` is a lock
+    /// (see [`Self::is_lock_field`]), not a chain hop into the
+    /// facade crate — resolving into it would rewrite every other
+    /// crate's chain typing now that the facade is in model scope.
     fn first_workspace_struct(&self, ty: &[String]) -> Option<String> {
         ty.iter()
-            .find(|t| self.struct_index.contains_key(t.as_str()))
+            .find(|t| {
+                self.struct_index.get(t.as_str()).is_some_and(|defs| {
+                    defs.iter()
+                        .any(|&i| !self.structs[i].file.starts_with("crates/sync/"))
+                })
+            })
             .cloned()
     }
 

@@ -211,6 +211,18 @@ pub fn classify(rel_path: &str) -> Option<FileClass> {
             ..FileClass::default()
         });
     }
+    // The deterministic-scheduler backend of `lcrb-sync` is test-only
+    // model-checking infrastructure: panicking threads are its abort
+    // mechanism, decision indices are replay bookkeeping, and TLS
+    // statics are its thread-identity plumbing — the panic/index/
+    // concurrency families don't apply. The files stay in scope
+    // (non-`None`) so the workspace symbol graph still sees the
+    // facade and the `pubapi` baseline covers its surface. The std
+    // passthrough backend ships in release builds and is classified
+    // like any library below.
+    if rel_path.starts_with("crates/sync/src/sched/") {
+        return Some(FileClass::default());
+    }
 
     let mut class = FileClass::default();
     let crate_name = rel_path

@@ -230,6 +230,117 @@ impl Sys {
     assert!(wrules::lockorder(&model).is_empty());
 }
 
+/// Builds a model containing the real `lcrb-sync` passthrough source
+/// plus one synthetic client file, so the fixtures below exercise
+/// acquisitions typed through the facade exactly as `engine.rs` and
+/// `pool.rs` now are — including the workspace-defined `Mutex` /
+/// `MutexGuard` / `Condvar` wrapper structs being present in the
+/// struct index.
+fn facade_model(client_src: &str) -> WorkspaceModel {
+    let root = workspace_root();
+    let pass = std::fs::read_to_string(root.join("crates/sync/src/pass.rs")).unwrap();
+    WorkspaceModel::from_sources(&[
+        ("crates/sync/src/pass.rs", &pass),
+        ("crates/fake/src/sys.rs", client_src),
+    ])
+}
+
+#[test]
+fn lockorder_flags_an_injected_cycle_through_the_facade() {
+    // Same cycle as `lockorder_flags_an_injected_cycle`, but the lock
+    // fields are the facade's `lcrb_sync::Mutex` — the swap-in type
+    // the engine and pool now use. The analyzer must keep resolving
+    // these as lock acquisitions rather than treating the wrapper as
+    // an opaque workspace struct.
+    let src = r#"
+use lcrb_sync::Mutex;
+pub struct A { m: Mutex<u32> }
+pub struct B { m: Mutex<u32> }
+pub struct Sys { a: A, b: B }
+impl Sys {
+    fn ab(&self) {
+        let _ga = self.a.m.lock().unwrap();
+        let _gb = self.b.m.lock().unwrap();
+    }
+    fn ba(&self) {
+        let _gb = self.b.m.lock().unwrap();
+        let _ga = self.a.m.lock().unwrap();
+    }
+}
+"#;
+    let model = facade_model(src);
+    let violations = wrules::lockorder(&model);
+    assert_eq!(
+        violations.len(),
+        1,
+        "one cycle through the facade, reported once: {violations:?}"
+    );
+    assert!(violations[0].message.contains("cycle"));
+    assert!(violations[0].message.contains("A.m"));
+    assert!(violations[0].message.contains("B.m"));
+}
+
+#[test]
+fn lockorder_flags_a_gate_wait_through_the_facade() {
+    // The wait-under-lock hazard with both the held lock and the
+    // latch built from facade types must still be caught.
+    let src = r#"
+use lcrb_sync::{Condvar, Mutex};
+pub struct Gate { done: Mutex<bool>, cv: Condvar }
+impl Gate {
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+pub struct Cache { map: Mutex<u32> }
+pub struct Sys { cache: Cache, gate: Gate }
+impl Sys {
+    fn bad(&self) {
+        let _g = self.cache.map.lock().unwrap();
+        self.gate.wait();
+    }
+}
+"#;
+    let model = facade_model(src);
+    let violations = wrules::lockorder(&model);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(violations[0].message.contains("Cache.map"));
+    assert!(violations[0].message.contains("wait"));
+}
+
+#[test]
+fn facade_wrappers_do_not_pollute_chain_typing() {
+    // With `crates/sync/src/pass.rs` in the model, the struct index
+    // contains workspace structs literally named `Mutex`, `MutexGuard`
+    // and `Condvar`. Field-type resolution must treat them as
+    // transparent primitives (like their `std::sync` namesakes), so a
+    // clean consistent-order client stays clean instead of the
+    // wrapper's own internals being chased as client lock state.
+    let src = r#"
+use lcrb_sync::Mutex;
+pub struct A { m: Mutex<u32> }
+pub struct B { m: Mutex<u32> }
+pub struct Sys { a: A, b: B }
+impl Sys {
+    fn one(&self) {
+        let _ga = self.a.m.lock().unwrap();
+        let _gb = self.b.m.lock().unwrap();
+    }
+}
+"#;
+    let model = facade_model(src);
+    assert!(wrules::lockorder(&model).is_empty());
+    // The lock fields resolve as locks on the *client* structs.
+    let a = model.struct_named("A").expect("client struct A");
+    assert!(a
+        .fields
+        .iter()
+        .any(|f| f.name == "m" && f.ty.iter().any(|t| t == "Mutex")));
+}
+
 #[test]
 fn epochkey_flags_a_key_without_the_epoch_component() {
     let src = r#"

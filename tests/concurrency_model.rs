@@ -1,0 +1,300 @@
+//! Deterministic-schedule model checking of the Solver cache protocol.
+//!
+//! These tests run the *real* engine types (`lcrb::engine::Gate`,
+//! `lcrb::engine::FamilyCache`, the full `Solver::solve_many` path)
+//! under the `lcrb-sync` deterministic scheduler: every context switch
+//! is a recorded decision, small protocols are explored exhaustively
+//! (DFS), the full solve path is driven through a fixed seed corpus,
+//! and injected faults exercise the drop-guard recovery paths under
+//! explored schedules. Every failure prints a replay decision string
+//! that reproduces it deterministically.
+//!
+//! Model runs require every participating thread to be a modeled
+//! logical thread, so solve requests here pin the greedy's *internal*
+//! sweep to `threads: 1`; the cross-request parallelism of
+//! `solve_many_threaded` is what's being explored.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lcrb::engine::{Algorithm, FamilyCache, Gate, SolveRequest, Solver};
+use lcrb::RumorBlockingInstance;
+use lcrb_community::Partition;
+use lcrb_diffusion::ScratchPool;
+use lcrb_graph::{DiGraph, NodeId};
+use lcrb_sync::sched::{self, Config};
+use lcrb_sync::{thread, Mutex};
+
+/// Two communities bridged in the middle; rumor starts at node 0.
+fn tiny_instance() -> RumorBlockingInstance {
+    let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 2), (2, 4)])
+        .expect("graph");
+    let p = Partition::from_labels(vec![0, 0, 0, 1, 1, 1]);
+    RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).expect("instance")
+}
+
+/// A small greedy request with the internal sweep pinned serial (see
+/// module docs) so every thread in a model run is a modeled one.
+fn greedy_request(budget: usize) -> SolveRequest {
+    SolveRequest {
+        realizations: 4,
+        max_hops: 6,
+        threads: 1,
+        ..SolveRequest::greedy_budget(budget)
+    }
+}
+
+#[test]
+fn dfs_gate_open_wait_has_no_lost_wakeup() {
+    let exploration = sched::explore_dfs(&Config::default(), || {
+        let gate = Gate::default();
+        thread::scope(|scope| {
+            let waiter = scope.spawn(|| gate.wait());
+            let opener = scope.spawn(|| gate.open());
+            waiter.join().expect("waiter");
+            opener.join().expect("opener");
+        });
+    })
+    .expect("the Gate protocol must be wakeup-safe under every schedule");
+    assert!(
+        exploration.schedules > 1,
+        "degenerate exploration: only {} schedule(s)",
+        exploration.schedules
+    );
+    assert!(exploration.complete);
+}
+
+#[test]
+fn dfs_family_cache_builds_exactly_once_per_key_and_epoch() {
+    let exploration = sched::explore_dfs(&Config::default(), || {
+        let cache: FamilyCache<u8, u64> = FamilyCache::default();
+        let builds = AtomicU64::new(0);
+        thread::scope(|scope| {
+            let handles = [
+                scope.spawn(|| {
+                    cache.get_or_build(7, 0, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        42
+                    })
+                }),
+                scope.spawn(|| {
+                    cache.get_or_build(7, 0, || {
+                        builds.fetch_add(1, Ordering::Relaxed);
+                        42
+                    })
+                }),
+            ];
+            for h in handles {
+                assert_eq!(h.join().expect("prober"), 42);
+            }
+        });
+        // The protocol's core invariant: one build per (key, epoch)
+        // no matter how the probes interleave.
+        assert_eq!(builds.load(Ordering::Relaxed), 1, "duplicate build");
+        let counters = cache.counter_snapshot();
+        assert_eq!(counters.misses, 1);
+        assert_eq!(counters.hits, 1);
+    })
+    .expect("single-builder discipline must hold under every schedule");
+    assert!(exploration.schedules > 1);
+    assert!(exploration.complete);
+}
+
+/// An intentionally broken protocol — waiting on a [`Gate`] while
+/// holding the lock the opener needs — must be caught as a deadlock,
+/// and the reported decision string must reproduce it.
+#[test]
+fn dfs_catches_gate_wait_while_holding_the_family_lock() {
+    let body = || {
+        let map = Mutex::new(0u32);
+        let gate = Gate::default();
+        thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                // BROKEN on purpose: the map lock is held across the
+                // gate wait, so the opener can never reach `open`.
+                let _map = map.lock().expect("map");
+                gate.wait();
+            });
+            let opener = scope.spawn(|| {
+                let _map = map.lock().expect("map");
+                gate.open();
+            });
+            waiter.join().expect("waiter");
+            opener.join().expect("opener");
+        });
+    };
+    let failure = sched::explore_dfs(&Config::default(), body)
+        .expect_err("wait-under-lock must deadlock under some schedule");
+    assert!(failure.message.contains("deadlock"), "got: {failure}");
+    let replayed = sched::replay(&sched::parse_replay(&failure.replay_string()), body)
+        .expect_err("the replay string must reproduce the deadlock");
+    assert!(replayed.message.contains("deadlock"));
+}
+
+/// The fixed seed corpus for full-solve-path exploration; CI also runs
+/// one fresh seed per build (see `fresh_seed_explores_full_solve_path`).
+fn seed_corpus() -> Vec<u64> {
+    (0..64).collect()
+}
+
+fn explore_solve_path(seeds: &[u64]) {
+    let inst = tiny_instance();
+    let batch = [
+        greedy_request(1),
+        SolveRequest::scbg(),
+        SolveRequest::heuristic(Algorithm::MaxDegree, 2),
+        greedy_request(2),
+    ];
+    // Reference reports from an untouched serial solver, computed
+    // outside any model run.
+    let reference_solver = Solver::new(inst.clone());
+    let reference: Vec<_> = batch
+        .iter()
+        .map(|r| reference_solver.solve(r).expect("reference solve"))
+        .collect();
+
+    let exploration = sched::explore_seeds(&Config::default(), seeds, || {
+        let solver = Solver::new(inst.clone());
+        let reports = solver.solve_many_threaded(&batch, 3);
+        // Under every explored schedule the batch is deterministic:
+        // same order, same algorithms, same protector sets.
+        assert_eq!(reports.len(), reference.len());
+        for (got, want) in reports.iter().zip(&reference) {
+            let got = got.as_ref().expect("solve");
+            assert_eq!(got.algorithm, want.algorithm);
+            assert_eq!(got.protectors, want.protectors);
+        }
+        // And the caches did their job: the duplicate-key greedy pair
+        // shares one bridge build.
+        assert_eq!(solver.cache_stats().bridge.misses, 1);
+    })
+    .unwrap_or_else(|failure| panic!("solve-path exploration failed: {failure}"));
+    assert_eq!(exploration.schedules, seeds.len());
+}
+
+#[test]
+fn seed_corpus_explores_full_solve_path() {
+    explore_solve_path(&seed_corpus());
+}
+
+/// CI passes a per-build random seed through `LCRB_SCHED_SEED` so the
+/// corpus keeps growing coverage over time; locally this runs one
+/// extra fixed seed. The seed is printed so a failure in CI logs is
+/// reproducible.
+#[test]
+fn fresh_seed_explores_full_solve_path() {
+    let seed = std::env::var("LCRB_SCHED_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(0xC0FFEE);
+    println!("exploring full solve path with fresh seed {seed}");
+    explore_solve_path(&[seed]);
+}
+
+/// A builder that panics mid-build (injected at the `family.build`
+/// fault point) must never strand its waiter or publish a half-built
+/// slot: the waiter recovers, rebuilds, and exactly one extra miss is
+/// charged.
+#[test]
+fn injected_family_build_panic_frees_waiters_and_charges_one_extra_miss() {
+    let exploration = sched::explore_dfs(&Config::default(), || {
+        sched::arm_fault("family.build", 1);
+        let cache: FamilyCache<u8, u64> = FamilyCache::default();
+        let builds = AtomicU64::new(0);
+        thread::scope(|scope| {
+            let probe = || {
+                cache.get_or_build(7, 0, || {
+                    builds.fetch_add(1, Ordering::Relaxed);
+                    42
+                })
+            };
+            let results = [scope.spawn(probe).join(), scope.spawn(probe).join()];
+            let faulted = results.iter().filter(|r| r.is_err()).count();
+            assert_eq!(faulted, 1, "exactly the armed slot claim panics");
+            for r in results {
+                match r {
+                    Ok(v) => assert_eq!(v, 42, "survivor sees the rebuilt value"),
+                    Err(payload) => {
+                        let msg = sched::payload_message(payload.as_ref());
+                        assert!(sched::is_fault_panic(&msg), "unexpected panic: {msg}");
+                    }
+                }
+            }
+        });
+        // The failed claim charged a miss before the fault fired, the
+        // recovery rebuild charged the second; the builder closure ran
+        // exactly once.
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let counters = cache.counter_snapshot();
+        assert_eq!(counters.misses, 2);
+        // The published value survives: a fresh probe is a pure hit.
+        assert_eq!(cache.get_or_build(7, 0, || unreachable!("must hit")), 42);
+        assert_eq!(cache.counter_snapshot().hits, counters.hits + 1);
+    })
+    .expect("builder-panic recovery must hold under every schedule");
+    assert!(exploration.schedules > 1);
+}
+
+/// A solve that panics between taking the CELF lease and storing the
+/// advanced trajectory (injected at `celf.advance`) must vacate the
+/// slot: the next same-key solve cold-builds and its answer is
+/// identical to an untouched cold solve.
+#[test]
+fn injected_celf_advance_panic_vacates_lease_and_next_solve_is_cold_equal() {
+    let inst = tiny_instance();
+    let req = greedy_request(2);
+    let cold = Solver::new(inst.clone())
+        .solve(&req)
+        .expect("cold reference solve");
+
+    let exploration = sched::explore_seeds(&Config::default(), &[11, 29], || {
+        sched::arm_fault("celf.advance", 1);
+        let solver = Solver::new(inst.clone());
+        thread::scope(|scope| {
+            let faulted = scope.spawn(|| solver.solve(&req)).join();
+            let payload = faulted.expect_err("the armed solve must panic");
+            let msg = sched::payload_message(payload.as_ref());
+            assert!(sched::is_fault_panic(&msg), "unexpected panic: {msg}");
+        });
+        // The lease was dropped without a store: the slot is vacant,
+        // so this solve cold-builds the trajectory (second celf miss)
+        // while reusing the already-built bridge artifact.
+        let report = solver.solve(&req).expect("recovery solve");
+        assert_eq!(report.protectors, cold.protectors);
+        let stats = solver.cache_stats();
+        assert_eq!(stats.celf.misses, 2, "vacated lease must recharge");
+        assert_eq!(stats.celf.hits, 0);
+        assert_eq!(stats.bridge.misses, 1);
+        assert_eq!(stats.bridge.hits, 1);
+    })
+    .unwrap_or_else(|failure| panic!("celf fault exploration failed: {failure}"));
+    assert_eq!(exploration.schedules, 2);
+}
+
+/// A lease interrupted by an injected panic (at `scratch.lease`) must
+/// still park its value back in the pool during unwind.
+#[test]
+fn injected_scratch_lease_panic_returns_the_scratch_to_the_pool() {
+    let exploration = sched::explore_dfs(&Config::default(), || {
+        // nth = 2: the warm-up lease below is execution 1.
+        sched::arm_fault("scratch.lease", 2);
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        {
+            let mut warm = pool.lease();
+            warm.push(7);
+        }
+        assert_eq!(pool.pooled(), 1);
+        thread::scope(|scope| {
+            let leaser = scope.spawn(|| {
+                let _lease = pool.lease();
+            });
+            let payload = leaser.join().expect_err("the armed lease must panic");
+            let msg = sched::payload_message(payload.as_ref());
+            assert!(sched::is_fault_panic(&msg), "unexpected panic: {msg}");
+        });
+        // The guard's unwind parked the warm value back.
+        assert_eq!(pool.pooled(), 1, "scratch lost during unwind");
+        assert_eq!(*pool.lease(), vec![7]);
+    })
+    .expect("lease-unwind recovery must hold under every schedule");
+    assert!(exploration.schedules > 1);
+}
