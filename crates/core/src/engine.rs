@@ -95,7 +95,9 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use lcrb_diffusion::{MonteCarloConfig, ScratchPool, TwoCascadeModel};
+use lcrb_diffusion::{
+    CancelToken, MonteCarloConfig, RunBudget, ScratchPool, StopReason, TwoCascadeModel, WorkMeter,
+};
 use lcrb_graph::NodeId;
 
 use crate::evaluate::{evaluate_protector_sets, HopSeriesReport};
@@ -103,6 +105,8 @@ use crate::greedy::{
     advance_trajectory, candidate_pool_for, normalized_model, selection_from_trajectory,
     GreedyTrajectory, SigmaBackend, SigmaScratch,
 };
+use crate::gvs::greedy_viral_stopper_metered;
+use crate::scbg::scbg_metered;
 use crate::sketch_objective::mix;
 use crate::{
     find_bridge_ends, greedy_viral_stopper, scbg, BridgeEndRule, BridgeEnds, CandidatePool,
@@ -169,7 +173,7 @@ pub enum StopRule {
 /// [`SolveRequest::scbg`], [`SolveRequest::gvs`],
 /// [`SolveRequest::heuristic`]) and adjust fields with struct-update
 /// syntax.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SolveRequest {
     /// The selection algorithm to run.
     pub algorithm: Algorithm,
@@ -199,6 +203,13 @@ pub struct SolveRequest {
     pub pagerank_damping: f64,
     /// BBST depth cap for [`Algorithm::Scbg`].
     pub max_bbst_depth: Option<u32>,
+    /// Work-unit caps and optional wall-clock deadline, checked only
+    /// at deterministic checkpoint boundaries (see [`Completion`]).
+    /// Defaults to [`RunBudget::unlimited`].
+    pub budget: RunBudget,
+    /// Cooperative cancellation token polled at the same checkpoints;
+    /// observing it aborts the solve with [`LcrbError::Interrupted`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl SolveRequest {
@@ -219,6 +230,8 @@ impl SolveRequest {
             mc_runs: 16,
             pagerank_damping: 0.85,
             max_bbst_depth: None,
+            budget: RunBudget::unlimited(),
+            cancel: None,
         }
     }
 
@@ -339,6 +352,47 @@ impl SolveRequest {
         self
     }
 
+    /// Attaches a work-unit/deadline budget (builder style). The
+    /// solve stops at the first checkpoint where a cap is exhausted
+    /// and returns a [`Completion::Degraded`] report carrying the
+    /// best-so-far selection.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcrb::engine::SolveRequest;
+    /// use lcrb::RunBudget;
+    ///
+    /// let req = SolveRequest::greedy_budget(3)
+    ///     .with_budget(RunBudget::unlimited().with_max_advances(1));
+    /// assert!(!req.budget.is_unlimited());
+    /// ```
+    #[must_use]
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (builder style).
+    /// Cancelling the token makes the solve abort with
+    /// [`LcrbError::Interrupted`] at its next checkpoint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcrb::engine::SolveRequest;
+    /// use lcrb::CancelToken;
+    ///
+    /// let token = CancelToken::new();
+    /// let req = SolveRequest::scbg().with_cancel(token.clone());
+    /// assert_eq!(req.cancel, Some(token));
+    /// ```
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The equivalent legacy [`GreedyConfig`] (α is a placeholder in
     /// budget mode; the engine passes the target separately).
     fn greedy_config(&self, master_seed: u64) -> GreedyConfig {
@@ -446,6 +500,45 @@ pub struct StageTiming {
     pub nanos: u128,
 }
 
+/// How much of the requested work a [`SolveReport`] reflects.
+///
+/// A solve whose [`RunBudget`] expires at a deterministic checkpoint
+/// does not fail: it degrades, returning the best-so-far selection
+/// (always a prefix of the uninterrupted run — see the trajectory
+/// invariant in [`crate::greedy`]). Cancellation never degrades; it
+/// aborts the solve with [`LcrbError::Interrupted`] instead, because
+/// a cancelled caller has no use for a partial answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Completion {
+    /// The algorithm ran to its own stopping rule; the report is its
+    /// exact output.
+    Exact,
+    /// A work-unit cap or deadline stopped the solve at a checkpoint;
+    /// the report carries the best-so-far selection.
+    Degraded {
+        /// Checkpoints completed before the stop, in the stage's own
+        /// units: CELF picks made, GVS rounds finished, RR sketches
+        /// generated, or bridge ends covered.
+        checkpoints_done: u64,
+        /// The checkpoint total an uninterrupted run would reach: the
+        /// pick cap (or candidate-pool size in α mode), the GVS
+        /// budget, the scheduled sketch count, or the bridge-end
+        /// count.
+        checkpoints_total: u64,
+        /// Which budget dimension stopped the solve.
+        reason: StopReason,
+    },
+}
+
+impl Completion {
+    /// `true` for [`Completion::Exact`].
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        matches!(self, Completion::Exact)
+    }
+}
+
 /// Algorithm-specific detail attached to a [`SolveReport`].
 #[derive(Clone, Debug)]
 #[non_exhaustive]
@@ -479,6 +572,9 @@ pub struct SolveReport {
     /// attributed to one request; charge a window of work by diffing
     /// [`Solver::cache_stats`] snapshots taken around it instead.
     pub cache_snapshot: CacheStats,
+    /// Whether the solve ran to completion or degraded at a budget
+    /// checkpoint.
+    pub completion: Completion,
     /// Algorithm-specific detail.
     pub detail: SolveDetail,
 }
@@ -537,6 +633,40 @@ impl SolveReport {
     #[must_use]
     pub fn total_nanos(&self) -> u128 {
         self.stages.iter().map(|s| s.nanos).sum()
+    }
+
+    /// `true` when a work-unit cap or deadline stopped this solve at a
+    /// checkpoint, making the selection a best-so-far prefix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcrb::engine::{Solver, SolveRequest};
+    /// use lcrb::{RumorBlockingInstance, RunBudget};
+    /// use lcrb_community::Partition;
+    /// use lcrb_graph::{DiGraph, NodeId};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+    /// let p = Partition::from_labels(vec![0, 0, 1, 1]);
+    /// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+    /// let solver = Solver::new(inst);
+    /// let starved = solver.solve(
+    ///     &SolveRequest::greedy_budget(1)
+    ///         .with_budget(RunBudget::unlimited().with_max_advances(0)),
+    /// )?;
+    /// assert!(starved.is_degraded());
+    /// assert!(starved.protectors.is_empty());
+    /// // Budgets meter work performed: the unbudgeted re-ask resumes
+    /// // the parked trajectory and completes exactly.
+    /// let exact = solver.solve(&SolveRequest::greedy_budget(1))?;
+    /// assert!(!exact.is_degraded());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.completion.is_exact()
     }
 }
 
@@ -611,6 +741,7 @@ impl Selector for Budgeted<'_> {
             epoch: solver.epoch,
             stages: clock.stages,
             cache_snapshot: solver.cache.stats(),
+            completion: Completion::Exact,
             detail: SolveDetail::Heuristic,
         })
     }
@@ -1465,6 +1596,11 @@ impl Solver {
     /// - [`LcrbError::UnsupportedRequest`] for combinations no
     ///   algorithm implements (α stop on a baseline, PageRank damping
     ///   outside `[0, 1)`);
+    /// - [`LcrbError::Interrupted`] when the request's
+    ///   [`CancelToken`] is observed at a checkpoint, or when a stop
+    ///   lands where no usable partial result exists (work-unit and
+    ///   deadline stops otherwise degrade the report instead — see
+    ///   [`Completion`]);
     /// - plus whatever the underlying algorithm returns
     ///   ([`LcrbError::NoRealizations`],
     ///   [`LcrbError::InvalidSketchParams`],
@@ -1489,10 +1625,29 @@ impl Solver {
     /// # }
     /// ```
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+        self.solve_with_batch_cancel(request, None)
+    }
+
+    /// One solve under an optional batch-wide cancel token (the
+    /// request's own budget and token always apply on top).
+    fn solve_with_batch_cancel(
+        &self,
+        request: &SolveRequest,
+        batch_cancel: Option<CancelToken>,
+    ) -> Result<SolveReport, LcrbError> {
+        let mut meter = WorkMeter::new(request.budget, request.cancel.clone(), batch_cancel);
+        // Entry checkpoint: an already-cancelled or already-expired
+        // request fails fast before touching any shared state.
+        meter
+            .poll()
+            .map_err(|reason| LcrbError::Interrupted { reason })?;
         match request.algorithm {
-            Algorithm::Greedy => self.solve_greedy(request),
-            Algorithm::Scbg => self.solve_scbg(request),
-            Algorithm::Gvs => self.solve_gvs(request),
+            Algorithm::Greedy => self.solve_greedy(request, &mut meter),
+            Algorithm::Scbg => self.solve_scbg(request, &mut meter),
+            Algorithm::Gvs => self.solve_gvs(request, &mut meter),
+            // Heuristics run no simulation kernels; the entry poll
+            // above is their only checkpoint and they always complete
+            // exactly.
             Algorithm::MaxDegree
             | Algorithm::Proximity
             | Algorithm::Random
@@ -1574,6 +1729,55 @@ impl Solver {
         requests: &[SolveRequest],
         threads: usize,
     ) -> Vec<Result<SolveReport, LcrbError>> {
+        self.solve_many_inner(requests, threads, None)
+    }
+
+    /// [`Solver::solve_many_threaded`] with a batch-wide kill switch:
+    /// cancelling `cancel` aborts every in-flight request at its next
+    /// checkpoint and fails every still-queued request fast, each as
+    /// its own [`LcrbError::Interrupted`] slot — failure isolation is
+    /// preserved, the batch itself never panics or hangs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcrb::engine::{Solver, SolveRequest};
+    /// use lcrb::{CancelToken, RumorBlockingInstance};
+    /// use lcrb_community::Partition;
+    /// use lcrb_graph::{DiGraph, NodeId};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])?;
+    /// let p = Partition::from_labels(vec![0, 0, 1, 1]);
+    /// let inst = RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)])?;
+    /// let solver = Solver::new(inst);
+    /// let batch = [SolveRequest::greedy_budget(1), SolveRequest::scbg()];
+    /// let token = CancelToken::new();
+    /// let reports = solver.solve_many_with_cancel(&batch, 2, &token);
+    /// assert!(reports.iter().all(Result::is_ok));
+    /// // A cancelled batch fails fast, slot by slot.
+    /// token.cancel();
+    /// let reports = solver.solve_many_with_cancel(&batch, 2, &token);
+    /// assert!(reports.iter().all(Result::is_err));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn solve_many_with_cancel(
+        &self,
+        requests: &[SolveRequest],
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Vec<Result<SolveReport, LcrbError>> {
+        self.solve_many_inner(requests, threads, Some(cancel))
+    }
+
+    fn solve_many_inner(
+        &self,
+        requests: &[SolveRequest],
+        threads: usize,
+        batch_cancel: Option<&CancelToken>,
+    ) -> Vec<Result<SolveReport, LcrbError>> {
         let threads = if threads > 0 {
             threads
         } else {
@@ -1584,7 +1788,10 @@ impl Solver {
         .min(requests.len())
         .max(1);
         if threads == 1 {
-            return requests.iter().map(|r| self.solve(r)).collect();
+            return requests
+                .iter()
+                .map(|r| self.solve_with_batch_cancel(r, batch_cancel.cloned()))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let mut indexed = lcrb_sync::thread::scope(|scope| {
@@ -1602,7 +1809,10 @@ impl Solver {
                         let Some(request) = requests.get(i) else {
                             break;
                         };
-                        out.push((i, self.solve(request)));
+                        out.push((
+                            i,
+                            self.solve_with_batch_cancel(request, batch_cancel.cloned()),
+                        ));
                     }
                     out
                 }));
@@ -1669,7 +1879,11 @@ impl Solver {
         evaluate_protector_sets(&self.instance, model, &sets, mc)
     }
 
-    fn solve_greedy(&self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+    fn solve_greedy(
+        &self,
+        request: &SolveRequest,
+        meter: &mut WorkMeter,
+    ) -> Result<SolveReport, LcrbError> {
         let config = request.greedy_config(self.master_seed);
         let (target_alpha, budget) = match request.stop {
             StopRule::Alpha(a) => {
@@ -1695,6 +1909,9 @@ impl Solver {
         clock.lap("bridge");
 
         let model = normalized_model(&config);
+        // `(generated, scheduled)` when a sketch cap truncated the
+        // sample below its accuracy schedule.
+        let mut sketch_truncation: Option<(u64, u64)> = None;
         let backend = match config.estimator {
             Estimator::MonteCarlo => SigmaBackend::Mc(ProtectionObjective::with_model(
                 &self.instance,
@@ -1707,24 +1924,48 @@ impl Solver {
                 if !matches!(model, ObjectiveModel::Opoao(_)) {
                     return Err(LcrbError::SketchModelUnsupported);
                 }
-                let key = SketchKey {
-                    rule: rule_tag(config.rule),
-                    max_hops: config.max_hops,
-                    epsilon_bits: params.epsilon.to_bits(),
-                    delta_bits: params.delta.to_bits(),
-                    min_sketches: params.min_sketches,
-                    max_sketches: params.max_sketches,
-                };
-                let index = self.cache.sketch.get_or_try_build(key, epoch, || {
-                    SketchIndex::build(
+                let index = if meter.limits_sketches() {
+                    // A sketch-capped request may truncate the sample,
+                    // and a truncated index must never be published as
+                    // the exact artifact — build privately, bypassing
+                    // the cache on both the read and the write side.
+                    Arc::new(SketchIndex::build_metered(
                         &self.instance,
                         bridge.nodes.clone(),
                         params,
                         self.master_seed,
                         config.max_hops,
-                    )
-                    .map(Arc::new)
-                })?;
+                        meter,
+                    )?)
+                } else {
+                    let key = SketchKey {
+                        rule: rule_tag(config.rule),
+                        max_hops: config.max_hops,
+                        epsilon_bits: params.epsilon.to_bits(),
+                        delta_bits: params.delta.to_bits(),
+                        min_sketches: params.min_sketches,
+                        max_sketches: params.max_sketches,
+                    };
+                    // Cancel/deadline stops inside the builder surface
+                    // as errors; the BuildGuard then vacates the
+                    // Building slot and frees same-key waiters —
+                    // cancellation is a recovery window exactly like a
+                    // failed build.
+                    self.cache.sketch.get_or_try_build(key, epoch, || {
+                        SketchIndex::build_metered(
+                            &self.instance,
+                            bridge.nodes.clone(),
+                            params,
+                            self.master_seed,
+                            config.max_hops,
+                            meter,
+                        )
+                        .map(Arc::new)
+                    })?
+                };
+                if index.is_truncated() {
+                    sketch_truncation = Some((index.sketch_count(), index.sketch_target()));
+                }
                 SigmaBackend::Sketch(SketchObjective::from_index(&self.instance, index))
             }
         };
@@ -1746,9 +1987,19 @@ impl Solver {
             candidates: candidates_key(config.candidates),
             lazy: config.lazy,
         };
-        // The lease claims this key exclusively: concurrent same-key
-        // solves wait here and then resume the trajectory we store.
-        let (cached, lease) = self.cache.celf.take(celf_key, epoch);
+        // A sketch-capped request ran on a privately built (possibly
+        // truncated) index, so its trajectory is not comparable to the
+        // shared one: it must neither resume nor park it. Bypass the
+        // CELF cache on both ends for those requests.
+        let (cached, lease) = if meter.limits_sketches() {
+            (None, None)
+        } else {
+            // The lease claims this key exclusively: concurrent
+            // same-key solves wait here and then resume the
+            // trajectory we store.
+            let (cached, lease) = self.cache.celf.take(celf_key, epoch);
+            (cached, Some(lease))
+        };
         let mut traj = cached.unwrap_or_else(|| {
             GreedyTrajectory::new(candidate_pool_for(
                 &self.instance,
@@ -1761,11 +2012,13 @@ impl Solver {
         // lease drop must vacate the slot so the next same-key solve
         // cold-builds instead of resuming a half-advanced prefix.
         lcrb_sync::fault::point("celf.advance");
-        // On error the lease drops without storing: the slot is
-        // vacated and the next same-key solve cold-builds, never
-        // inheriting a partially extended trajectory after a failed
-        // σ̂ evaluation.
-        advance_trajectory(
+        // On error (σ̂ failure or an observed cancellation) the lease
+        // drops without storing: the slot is vacated and the next
+        // same-key solve cold-builds, never inheriting a partially
+        // extended trajectory. Budget/deadline stops return
+        // `Ok(Some(reason))` with the trajectory parked at a pick
+        // boundary — prefix-consistent, so parking it is sound.
+        let advance_stop = advance_trajectory(
             &backend,
             &mut traj,
             target,
@@ -1773,13 +2026,40 @@ impl Solver {
             config.lazy,
             config.threads,
             &self.scratch,
+            meter,
         )?;
         clock.lap("select");
 
         let evaluations = traj.evaluations() - evals_before;
         let selection =
             selection_from_trajectory(&traj, target, cap, evaluations, (*bridge).clone());
-        lease.store(traj);
+        let candidate_count = traj.candidate_count();
+        if let Some(lease) = lease {
+            lease.store(traj);
+        }
+
+        let completion = if let Some((generated, scheduled)) = sketch_truncation {
+            // Sketch truncation outranks any later advance stop: the
+            // whole σ̂ surface is coarser than requested, not just the
+            // pick sequence shorter.
+            Completion::Degraded {
+                checkpoints_done: generated,
+                checkpoints_total: scheduled,
+                reason: StopReason::SketchBudget,
+            }
+        } else if let Some(reason) = advance_stop {
+            Completion::Degraded {
+                checkpoints_done: selection.protectors.len() as u64,
+                checkpoints_total: if cap == usize::MAX {
+                    candidate_count as u64
+                } else {
+                    cap as u64
+                },
+                reason,
+            }
+        } else {
+            Completion::Exact
+        };
 
         Ok(SolveReport {
             algorithm: Algorithm::Greedy.name().to_owned(),
@@ -1787,38 +2067,66 @@ impl Solver {
             epoch,
             stages: clock.stages,
             cache_snapshot: self.cache.stats(),
+            completion,
             detail: SolveDetail::Greedy(selection),
         })
     }
 
-    fn solve_scbg(&self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+    fn solve_scbg(
+        &self,
+        request: &SolveRequest,
+        meter: &mut WorkMeter,
+    ) -> Result<SolveReport, LcrbError> {
         let mut clock = StageClock::start();
         let epoch = self.epoch;
-        let key = ScbgKey {
-            rule: rule_tag(request.rule),
-            depth: request.max_bbst_depth.map_or(u64::MAX, u64::from),
+        let scbg_config = ScbgConfig {
+            rule: request.rule,
+            max_bbst_depth: request.max_bbst_depth,
         };
-        let solution = self.cache.scbg.get_or_build(key, epoch, || {
-            scbg(
-                &self.instance,
-                &ScbgConfig {
-                    rule: request.rule,
-                    max_bbst_depth: request.max_bbst_depth,
-                },
-            )
-        });
+        // SCBG runs no simulations or sketches, so work-unit caps
+        // never stop it; only cancel- or deadline-carrying requests
+        // need checkpoints, and those bypass the cache because a
+        // deadline-truncated partial cover must never be published as
+        // the exact artifact.
+        let (solution, stop) = if meter.polls_needed() {
+            scbg_metered(&self.instance, &scbg_config, meter)
+                .map_err(|reason| LcrbError::Interrupted { reason })?
+        } else {
+            let key = ScbgKey {
+                rule: rule_tag(request.rule),
+                depth: request.max_bbst_depth.map_or(u64::MAX, u64::from),
+            };
+            let solution = self
+                .cache
+                .scbg
+                .get_or_build(key, epoch, || scbg(&self.instance, &scbg_config));
+            (solution, None)
+        };
         clock.lap("select");
+        let completion = match stop {
+            Some(reason) => Completion::Degraded {
+                checkpoints_done: solution.covered as u64,
+                checkpoints_total: solution.bridge_ends.len() as u64,
+                reason,
+            },
+            None => Completion::Exact,
+        };
         Ok(SolveReport {
             algorithm: Algorithm::Scbg.name().to_owned(),
             protectors: solution.protectors.clone(),
             epoch,
             stages: clock.stages,
             cache_snapshot: self.cache.stats(),
+            completion,
             detail: SolveDetail::Scbg(solution),
         })
     }
 
-    fn solve_gvs(&self, request: &SolveRequest) -> Result<SolveReport, LcrbError> {
+    fn solve_gvs(
+        &self,
+        request: &SolveRequest,
+        meter: &mut WorkMeter,
+    ) -> Result<SolveReport, LcrbError> {
         let StopRule::Budget(budget) = request.stop else {
             return Err(LcrbError::UnsupportedRequest {
                 reason:
@@ -1835,31 +2143,56 @@ impl Solver {
             candidates: request.candidates,
             rule: request.rule,
         };
-        let key = GvsKey {
-            rule: rule_tag(request.rule),
-            candidates: candidates_key(request.candidates),
-            model: model_key(&model),
-            mc_runs: request.mc_runs,
-            budget,
-        };
-        let selection = self
-            .cache
-            .gvs
-            .get_or_try_build(key, epoch, || match model {
+        // A sim-capped or cancellable/deadlined run may stop short of
+        // the full selection; a partial GVS prefix must never be
+        // published as the exact budget-`k` artifact, so those
+        // requests bypass the cache entirely.
+        let (selection, stop) = if meter.polls_needed() || meter.limits_sims() {
+            match model {
                 ObjectiveModel::Opoao(m) => {
-                    greedy_viral_stopper(&self.instance, &m, budget, &gvs_config)
+                    greedy_viral_stopper_metered(&self.instance, &m, budget, &gvs_config, meter)?
                 }
                 ObjectiveModel::CompetitiveIc(m) => {
-                    greedy_viral_stopper(&self.instance, &m, budget, &gvs_config)
+                    greedy_viral_stopper_metered(&self.instance, &m, budget, &gvs_config, meter)?
                 }
-            })?;
+            }
+        } else {
+            let key = GvsKey {
+                rule: rule_tag(request.rule),
+                candidates: candidates_key(request.candidates),
+                model: model_key(&model),
+                mc_runs: request.mc_runs,
+                budget,
+            };
+            let selection = self
+                .cache
+                .gvs
+                .get_or_try_build(key, epoch, || match model {
+                    ObjectiveModel::Opoao(m) => {
+                        greedy_viral_stopper(&self.instance, &m, budget, &gvs_config)
+                    }
+                    ObjectiveModel::CompetitiveIc(m) => {
+                        greedy_viral_stopper(&self.instance, &m, budget, &gvs_config)
+                    }
+                })?;
+            (selection, None)
+        };
         clock.lap("select");
+        let completion = match stop {
+            Some(reason) => Completion::Degraded {
+                checkpoints_done: selection.protectors.len() as u64,
+                checkpoints_total: budget as u64,
+                reason,
+            },
+            None => Completion::Exact,
+        };
         Ok(SolveReport {
             algorithm: Algorithm::Gvs.name().to_owned(),
             protectors: selection.protectors.clone(),
             epoch,
             stages: clock.stages,
             cache_snapshot: self.cache.stats(),
+            completion,
             detail: SolveDetail::Gvs(selection),
         })
     }
@@ -1943,6 +2276,7 @@ impl Solver {
             epoch: self.epoch,
             stages: clock.stages,
             cache_snapshot: self.cache.stats(),
+            completion: Completion::Exact,
             detail: SolveDetail::Heuristic,
         })
     }
@@ -2516,7 +2850,7 @@ mod tests {
             max_hops: 10,
             ..SolveRequest::greedy_budget(2)
         };
-        let batch = [req; 6];
+        let batch = vec![req.clone(); 6];
         let (reports, delta) = charged(&solver, || solver.solve_many_threaded(&batch, 6));
         let first = reports[0].as_ref().unwrap();
         for r in &reports {
@@ -2621,5 +2955,207 @@ mod tests {
         assert!(after.misses() >= 2);
         let delta = after.delta_since(&before);
         assert_eq!(delta.hits(), after.hits());
+    }
+
+    #[test]
+    fn advance_budget_degrades_to_prefix_of_exact_run() {
+        let inst = community_instance(41);
+        let req = SolveRequest {
+            realizations: 12,
+            max_hops: 15,
+            ..SolveRequest::greedy_budget(3)
+        };
+        let exact = Solver::new(inst.clone()).solve(&req).unwrap();
+        assert_eq!(exact.completion, Completion::Exact);
+        assert!(!exact.is_degraded());
+        assert_eq!(exact.protectors.len(), 3);
+
+        let starved = Solver::new(inst)
+            .solve(
+                &req.clone()
+                    .with_budget(RunBudget::unlimited().with_max_advances(1)),
+            )
+            .unwrap();
+        assert_eq!(
+            starved.completion,
+            Completion::Degraded {
+                checkpoints_done: 1,
+                checkpoints_total: 3,
+                reason: StopReason::AdvanceBudget,
+            }
+        );
+        assert!(starved.is_degraded());
+        // Best-so-far is a bitwise prefix of the uncancelled run.
+        assert_eq!(starved.protectors[..], exact.protectors[..1]);
+        let (SolveDetail::Greedy(s), SolveDetail::Greedy(e)) = (&starved.detail, &exact.detail)
+        else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(s.sigma_history[..], e.sigma_history[..1]);
+    }
+
+    #[test]
+    fn degraded_solve_parks_a_reusable_prefix() {
+        let inst = community_instance(43);
+        let req = SolveRequest {
+            realizations: 12,
+            max_hops: 15,
+            ..SolveRequest::greedy_budget(3)
+        };
+        let solver = Solver::new(inst.clone());
+        let starved = solver
+            .solve(
+                &req.clone()
+                    .with_budget(RunBudget::unlimited().with_max_advances(2)),
+            )
+            .unwrap();
+        assert!(starved.is_degraded());
+        assert_eq!(starved.protectors.len(), 2);
+        // The parked partial trajectory resumes and the finished solve
+        // is bitwise-equal to a cold exact run: degraded solves never
+        // poison the session.
+        let resumed = solver.solve(&req).unwrap();
+        assert_eq!(resumed.completion, Completion::Exact);
+        let cold = Solver::new(inst).solve(&req).unwrap();
+        assert_eq!(resumed.protectors, cold.protectors);
+        let (SolveDetail::Greedy(a), SolveDetail::Greedy(b)) = (&resumed.detail, &cold.detail)
+        else {
+            panic!("expected greedy details");
+        };
+        assert_eq!(a.sigma_history, b.sigma_history);
+    }
+
+    #[test]
+    fn sim_budget_stops_the_initial_sweep_gracefully() {
+        let inst = community_instance(45);
+        let report = Solver::new(inst)
+            .solve(&SolveRequest {
+                realizations: 12,
+                max_hops: 15,
+                budget: RunBudget::unlimited().with_max_sims(0),
+                ..SolveRequest::greedy_budget(2)
+            })
+            .unwrap();
+        assert!(report.is_degraded());
+        assert!(report.protectors.is_empty());
+        let Completion::Degraded { reason, .. } = report.completion else {
+            panic!("expected a degraded completion");
+        };
+        assert_eq!(reason, StopReason::SimBudget);
+    }
+
+    #[test]
+    fn sketch_cap_truncates_and_bypasses_the_shared_caches() {
+        let inst = community_instance(47);
+        let solver = Solver::new(inst);
+        // Warm the bridge cache so the delta isolates the sketch path.
+        solver.solve(&sketch_request(1)).unwrap();
+        let capped = sketch_request(2).with_budget(RunBudget::unlimited().with_max_sketches(3));
+        let (report, delta) = charged(&solver, || solver.solve(&capped).unwrap());
+        let Completion::Degraded { reason, .. } = report.completion else {
+            panic!("expected a degraded completion");
+        };
+        assert_eq!(reason, StopReason::SketchBudget);
+        // A truncated index and its trajectory are private to the
+        // request: neither the sketch family nor the CELF cache is
+        // read or written.
+        assert_eq!(delta.sketch.hits + delta.sketch.misses, 0);
+        assert_eq!(delta.celf.hits + delta.celf.misses, 0);
+        // And the session still answers exact sketch solves untainted.
+        let exact = solver.solve(&sketch_request(2)).unwrap();
+        assert_eq!(exact.completion, Completion::Exact);
+    }
+
+    #[test]
+    fn cancelled_request_errors_without_poisoning_the_session() {
+        let inst = community_instance(49);
+        let solver = Solver::new(inst.clone());
+        let token = CancelToken::new();
+        token.cancel();
+        let req = SolveRequest {
+            realizations: 12,
+            max_hops: 15,
+            ..SolveRequest::greedy_budget(2)
+        };
+        let err = solver.solve(&req.clone().with_cancel(token)).unwrap_err();
+        assert!(matches!(
+            err,
+            LcrbError::Interrupted {
+                reason: StopReason::Cancelled
+            }
+        ));
+        // The aborted build vacated its cache slots: a later solve on
+        // the same session rebuilds and matches a cold solver.
+        let after = solver.solve(&req).unwrap();
+        assert_eq!(after.completion, Completion::Exact);
+        let cold = Solver::new(inst).solve(&req).unwrap();
+        assert_eq!(after.protectors, cold.protectors);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_every_algorithm() {
+        let inst = community_instance(51);
+        let solver = Solver::new(inst);
+        let deadline = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        for req in [
+            SolveRequest::greedy_budget(1),
+            sketch_request(1),
+            SolveRequest::scbg(),
+            SolveRequest::gvs(1),
+        ] {
+            let err = solver.solve(&req.with_budget(deadline)).unwrap_err();
+            assert!(matches!(
+                err,
+                LcrbError::Interrupted {
+                    reason: StopReason::DeadlineExpired
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn gvs_sim_budget_interrupts_before_the_baseline() {
+        let inst = community_instance(53);
+        let err = Solver::new(inst)
+            .solve(&SolveRequest::gvs(1).with_budget(RunBudget::unlimited().with_max_sims(0)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LcrbError::Interrupted {
+                reason: StopReason::SimBudget
+            }
+        ));
+    }
+
+    #[test]
+    fn batch_cancel_interrupts_every_request() {
+        let inst = community_instance(55);
+        let solver = Solver::new(inst);
+        let req = SolveRequest {
+            realizations: 8,
+            max_hops: 10,
+            ..SolveRequest::greedy_budget(1)
+        };
+        let batch = vec![req.clone(); 4];
+        let token = CancelToken::new();
+        token.cancel();
+        for slot in solver.solve_many_with_cancel(&batch, 2, &token) {
+            assert!(matches!(
+                slot,
+                Err(LcrbError::Interrupted {
+                    reason: StopReason::Cancelled
+                })
+            ));
+        }
+        // An untripped token leaves the batch equal to a plain one.
+        let fresh = CancelToken::new();
+        let with_token = solver.solve_many_with_cancel(&batch, 2, &fresh);
+        let plain = solver.solve_many(&batch);
+        for (a, b) in with_token.iter().zip(&plain) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.protectors, b.protectors);
+            assert_eq!(a.completion, Completion::Exact);
+            assert_eq!(b.completion, Completion::Exact);
+        }
     }
 }

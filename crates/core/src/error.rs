@@ -3,7 +3,7 @@
 use core::fmt;
 
 use lcrb_community::PartitionSizeError;
-use lcrb_diffusion::SeedError;
+use lcrb_diffusion::{SeedError, StopReason};
 use lcrb_graph::NodeId;
 
 /// Errors produced when constructing or solving an LCRB instance.
@@ -57,6 +57,16 @@ pub enum LcrbError {
         /// Which combination is unsupported.
         reason: &'static str,
     },
+    /// The solve was stopped at a checkpoint — by a
+    /// [`lcrb_diffusion::CancelToken`], a deadline, or a work-unit
+    /// budget — before any usable partial result existed. (When a
+    /// prefix *is* salvageable the engine returns a degraded
+    /// [`crate::engine::SolveReport`] instead; see
+    /// [`crate::engine::Completion`].)
+    Interrupted {
+        /// What stopped the solve.
+        reason: StopReason,
+    },
 }
 
 impl fmt::Display for LcrbError {
@@ -94,6 +104,9 @@ impl fmt::Display for LcrbError {
             }
             LcrbError::UnsupportedRequest { reason } => {
                 write!(f, "unsupported solve request: {reason}")
+            }
+            LcrbError::Interrupted { reason } => {
+                write!(f, "solve interrupted: {reason}")
             }
         }
     }
@@ -139,6 +152,10 @@ mod tests {
             reason: "alpha stop on a heuristic",
         };
         assert!(e.to_string().contains("alpha stop on a heuristic"));
+        let e = LcrbError::Interrupted {
+            reason: StopReason::Cancelled,
+        };
+        assert_eq!(e.to_string(), "solve interrupted: cancelled");
     }
 
     #[test]

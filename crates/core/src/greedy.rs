@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use lcrb_diffusion::{ScratchPool, SimWorkspace};
+use lcrb_diffusion::{ScratchPool, SimWorkspace, StopReason, WorkMeter};
 use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
@@ -243,6 +243,16 @@ impl SigmaBackend<'_> {
             SigmaBackend::Sketch(obj) => obj.sigma_with(protectors, &mut s.coverage),
         }
     }
+
+    /// Monte-Carlo simulations charged per `sigma_with` evaluation:
+    /// one per realization for the MC backend, zero for sketches
+    /// (their sampling cost is charged at sketch generation).
+    pub(crate) fn sim_cost(&self) -> u64 {
+        match self {
+            SigmaBackend::Mc(obj) => obj.realization_count() as u64,
+            SigmaBackend::Sketch(_) => 0,
+        }
+    }
 }
 
 /// Applies the config's hop budget to the OPOAO objective model (an
@@ -349,6 +359,23 @@ impl GreedyTrajectory {
     pub(crate) fn evaluations(&self) -> usize {
         self.evaluations
     }
+
+    /// Size of the candidate pool the trajectory selects from.
+    pub(crate) fn candidate_count(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Maps a checkpoint stop to `advance_trajectory`'s outcome:
+/// cancellation aborts the solve as a typed error (the caller's drop
+/// path vacates its lease), budget/deadline stops degrade gracefully
+/// (the trajectory stays prefix-consistent and is parked).
+fn stop_outcome(stop: StopReason) -> Result<Option<StopReason>, LcrbError> {
+    if stop == StopReason::Cancelled {
+        Err(LcrbError::Interrupted { reason: stop })
+    } else {
+        Ok(Some(stop))
+    }
 }
 
 /// Extends `traj` until the stopping rule holds: `σ̂ ≥ target`, `cap`
@@ -359,6 +386,16 @@ impl GreedyTrajectory {
 /// `pool` (one lease for the sequential loop, one per worker in the
 /// initial sweep) and returned when the call finishes, so concurrent
 /// callers share the pool without sharing buffers.
+///
+/// Budget checkpoints sit at the loop's serial boundaries: σ̂
+/// evaluations charge their simulation cost before running
+/// (all-or-nothing — the initial sweep is charged whole), advances
+/// are checked before each pick's work starts. Any stop therefore
+/// leaves `traj` exactly as an uninterrupted run would have it after
+/// the same picks — prefix-consistent and safe to park. Returns
+/// `Ok(None)` when a stopping rule was reached, `Ok(Some(reason))`
+/// when a budget or deadline checkpoint stopped the loop early.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn advance_trajectory(
     backend: &SigmaBackend<'_>,
     traj: &mut GreedyTrajectory,
@@ -367,10 +404,15 @@ pub(crate) fn advance_trajectory(
     lazy: bool,
     threads: usize,
     pool: &ScratchPool<SigmaScratch>,
-) -> Result<(), LcrbError> {
+    meter: &mut WorkMeter,
+) -> Result<Option<StopReason>, LcrbError> {
+    let sim_cost = backend.sim_cost();
     let mut lease = pool.lease();
     let scratch = &mut *lease;
     if !traj.started {
+        if let Err(stop) = meter.charge_sims(sim_cost) {
+            return stop_outcome(stop);
+        }
         traj.sigma_empty = backend.sigma_with(&[], scratch)?;
         traj.sigma_current = traj.sigma_empty;
         traj.evaluations += 1;
@@ -381,18 +423,34 @@ pub(crate) fn advance_trajectory(
         if traj.candidates.is_empty() {
             break;
         }
+        if meter.advances_exhausted() {
+            return Ok(Some(StopReason::AdvanceBudget));
+        }
         if !traj.swept {
             // Initial sweep: marginal gain of every candidate alone,
             // evaluated in parallel. Runs at most once per trajectory
             // (always with the empty selection), so resumed runs see
-            // the same gains a cold run would.
-            let gains = parallel_initial_gains(
+            // the same gains a cold run would. Charged whole: a sweep
+            // that does not fit under the simulation cap never starts,
+            // so partial sweeps cannot exist.
+            if let Err(stop) = meter.charge_sims(sim_cost * traj.candidates.len() as u64) {
+                return stop_outcome(stop);
+            }
+            let gains = match parallel_initial_gains(
                 backend,
                 &traj.candidates,
                 traj.sigma_current,
                 threads,
                 pool,
-            )?;
+                meter,
+            ) {
+                Ok(gains) => gains,
+                // A cancellation/deadline poll fired mid-sweep: the
+                // sweep mutated nothing (`swept` stays false), so the
+                // trajectory is still the pre-sweep prefix.
+                Err(LcrbError::Interrupted { reason }) => return stop_outcome(reason),
+                Err(e) => return Err(e),
+            };
             traj.evaluations += traj.candidates.len();
             traj.heap = gains
                 .iter()
@@ -409,6 +467,12 @@ pub(crate) fn advance_trajectory(
             };
             if scored_round < traj.round {
                 // Stale: re-score against the current selection.
+                if let Err(stop) = meter.charge_sims(sim_cost) {
+                    // Restore the popped entry so the parked heap
+                    // matches an uninterrupted run's at this boundary.
+                    traj.heap.push((FiniteF64(gain), idx, scored_round));
+                    return stop_outcome(stop);
+                }
                 traj.trial.clear();
                 traj.trial.extend_from_slice(&traj.selected);
                 traj.trial.push(traj.candidates[idx]);
@@ -426,8 +490,18 @@ pub(crate) fn advance_trajectory(
             traj.sigma_current += gain;
             traj.sigma_history.push(traj.sigma_current);
             traj.round += 1;
+            meter.note_advance();
         } else {
-            // Plain Algorithm 1: re-score everything each round.
+            // Plain Algorithm 1: re-score everything each round,
+            // charged whole before the scan like the initial sweep.
+            let remaining = traj
+                .candidates
+                .iter()
+                .filter(|c| !traj.selected.contains(c))
+                .count() as u64;
+            if let Err(stop) = meter.charge_sims(sim_cost * remaining) {
+                return stop_outcome(stop);
+            }
             let mut best: Option<(f64, usize)> = None;
             let mut evals = 0usize;
             for (idx, &candidate) in traj.candidates.iter().enumerate() {
@@ -456,9 +530,10 @@ pub(crate) fn advance_trajectory(
             traj.selected.push(traj.candidates[idx]);
             traj.sigma_current += gain;
             traj.sigma_history.push(traj.sigma_current);
+            meter.note_advance();
         }
     }
-    Ok(())
+    Ok(None)
 }
 
 /// Materializes a [`GreedySelection`] as the stopping rule's prefix
@@ -525,6 +600,7 @@ fn run_greedy(
     // CSR snapshot for Monte Carlo, coverage stamps for sketches) and
     // the initial sweep leases one per worker.
     let pool = ScratchPool::new();
+    let mut meter = WorkMeter::unlimited();
     advance_trajectory(
         &backend,
         &mut traj,
@@ -533,6 +609,7 @@ fn run_greedy(
         config.lazy,
         config.threads,
         &pool,
+        &mut meter,
     )?;
     let evaluations = traj.evaluations();
     Ok(selection_from_trajectory(
@@ -593,12 +670,18 @@ fn candidate_pool(
     nodes
 }
 
+/// The initial CELF gain sweep. Cancellation/deadline polls run per
+/// candidate (the simulation cost was already charged whole by the
+/// caller); a stop surfaces as [`LcrbError::Interrupted`] and the
+/// sweep's partial results are discarded, so interruption can never
+/// produce a half-populated heap.
 fn parallel_initial_gains(
     objective: &SigmaBackend<'_>,
     candidates: &[NodeId],
     sigma_empty: f64,
     threads: usize,
     pool: &ScratchPool<SigmaScratch>,
+    meter: &WorkMeter,
 ) -> Result<Vec<f64>, LcrbError> {
     let threads = if threads > 0 {
         threads
@@ -614,7 +697,12 @@ fn parallel_initial_gains(
         let mut ws = pool.lease();
         return candidates
             .iter()
-            .map(|&c| Ok(objective.sigma_with(&[c], &mut ws)? - sigma_empty))
+            .map(|&c| {
+                meter
+                    .poll()
+                    .map_err(|reason| LcrbError::Interrupted { reason })?;
+                Ok(objective.sigma_with(&[c], &mut ws)? - sigma_empty)
+            })
             .collect();
     }
     let results = std::thread::scope(|scope| {
@@ -629,6 +717,11 @@ fn parallel_initial_gains(
                 let mut partial = Vec::new();
                 let mut i = t;
                 while i < candidates.len() {
+                    if meter.poll().is_err() {
+                        // Re-observed by the coordinator poll below;
+                        // both stop conditions are monotone.
+                        break;
+                    }
                     partial.push((i, objective.sigma_with(&[candidates[i]], &mut ws)));
                     i += threads;
                 }
@@ -641,6 +734,9 @@ fn parallel_initial_gains(
             .flat_map(|h| h.join().expect("gain worker panicked"))
             .collect::<Vec<_>>()
     });
+    meter
+        .poll()
+        .map_err(|reason| LcrbError::Interrupted { reason })?;
 
     // xtask-allow: hotpath -- once-per-sweep result buffer sized to the candidate pool
     let mut gains = vec![0.0; candidates.len()];

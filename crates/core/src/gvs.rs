@@ -10,7 +10,9 @@
 //! entirely, which makes it a useful foil: comparing it against the
 //! paper's algorithms isolates how much the bridge-end insight buys.
 
-use lcrb_diffusion::{monte_carlo_csr, MonteCarloConfig, TwoCascadeModel};
+use lcrb_diffusion::{
+    monte_carlo_csr_budgeted, MonteCarloConfig, StopReason, TwoCascadeModel, WorkMeter,
+};
 use lcrb_graph::NodeId;
 
 use crate::{find_bridge_ends, BridgeEndRule, CandidatePool, LcrbError, RumorBlockingInstance};
@@ -77,31 +79,77 @@ pub fn greedy_viral_stopper<M>(
 where
     M: TwoCascadeModel + Sync,
 {
+    let mut meter = WorkMeter::unlimited();
+    let (selection, _) = greedy_viral_stopper_metered(instance, model, budget, config, &mut meter)?;
+    Ok(selection)
+}
+
+/// [`greedy_viral_stopper`] under a [`WorkMeter`]: each candidate
+/// evaluation charges its `mc_runs` simulations (all-or-nothing) and
+/// polls for cancellation.
+///
+/// Checkpoints sit at *round* boundaries: a stop mid-round discards
+/// that round's partial scan, so the returned prefix is exactly the
+/// completed-rounds prefix an uninterrupted run would have — and
+/// work-budget stops land at the same round on every run. Returns the
+/// (possibly partial) selection plus `Some(reason)` when a budget or
+/// deadline stopped the loop early.
+///
+/// # Errors
+///
+/// [`LcrbError::Interrupted`] on cancellation anywhere, or on any
+/// stop during the no-protector baseline (there is no prefix to
+/// salvage before it completes); estimator errors as in
+/// [`greedy_viral_stopper`].
+pub(crate) fn greedy_viral_stopper_metered<M>(
+    instance: &RumorBlockingInstance,
+    model: &M,
+    budget: usize,
+    config: &GvsConfig,
+    meter: &mut WorkMeter,
+) -> Result<(GvsSelection, Option<StopReason>), LcrbError>
+where
+    M: TwoCascadeModel + Sync,
+{
     let mc = MonteCarloConfig {
         runs: config.mc_runs.max(1),
         base_seed: config.seed,
         threads: 0,
     };
-    let expected_infected = |protectors: &[NodeId]| -> Result<f64, LcrbError> {
-        let seeds = instance.seed_sets(protectors.to_vec())?;
-        Ok(monte_carlo_csr(model, instance.snapshot(), &seeds, &mc).mean_final_infected())
-    };
 
     let bridge_ends = find_bridge_ends(instance, config.rule);
     let candidates = crate::greedy::candidate_pool_for(instance, &bridge_ends, config.candidates);
-    let baseline = expected_infected(&[])?;
+    let seeds = instance.seed_sets(Vec::new())?;
+    let baseline = monte_carlo_csr_budgeted(model, instance.snapshot(), &seeds, &mc, meter)
+        .map_err(|reason| LcrbError::Interrupted { reason })?
+        .mean_final_infected();
 
     let mut selected: Vec<NodeId> = Vec::new();
     let mut infected_history = Vec::new();
     let mut current = baseline;
     let mut remaining = candidates;
+    let mut stop = None;
 
-    for _ in 0..budget {
+    'rounds: for _ in 0..budget {
         let mut best: Option<(f64, usize)> = None;
         for (i, &c) in remaining.iter().enumerate() {
             let mut trial = selected.clone();
             trial.push(c);
-            let v = expected_infected(&trial)?;
+            let seeds = instance.seed_sets(trial)?;
+            let v = match monte_carlo_csr_budgeted(model, instance.snapshot(), &seeds, &mc, meter) {
+                Ok(avg) => avg.mean_final_infected(),
+                Err(StopReason::Cancelled) => {
+                    return Err(LcrbError::Interrupted {
+                        reason: StopReason::Cancelled,
+                    })
+                }
+                Err(reason) => {
+                    // Budget/deadline stop mid-round: discard the
+                    // partial round, keep the completed-rounds prefix.
+                    stop = Some(reason);
+                    break 'rounds;
+                }
+            };
             if best.is_none_or(|(bv, _)| v < bv) {
                 best = Some((v, i));
             }
@@ -114,11 +162,14 @@ where
         current = value;
         infected_history.push(value);
     }
-    Ok(GvsSelection {
-        protectors: selected,
-        infected_history,
-        baseline,
-    })
+    Ok((
+        GvsSelection {
+            protectors: selected,
+            infected_history,
+            baseline,
+        },
+        stop,
+    ))
 }
 
 #[cfg(test)]

@@ -71,9 +71,11 @@ pub mod source;
 
 pub use bridge::{find_bridge_ends, BridgeEndRule, BridgeEnds};
 pub use engine::{
-    Algorithm, Budgeted, CacheCounters, CacheStats, Selector, SolveDetail, SolveReport,
+    Algorithm, Budgeted, CacheCounters, CacheStats, Completion, Selector, SolveDetail, SolveReport,
     SolveRequest, Solver, SolverConfig, StageTiming, StopRule,
 };
+// The budget/cancellation vocabulary rides on every `SolveRequest`,
+// so re-export it from the problem layer too.
 pub use error::LcrbError;
 pub use greedy::{
     greedy_lcrb_p, greedy_with_budget, CandidatePool, Estimator, GreedyConfig, GreedySelection,
@@ -84,6 +86,7 @@ pub use heuristics::{
     ProtectorSelector, ProximitySelector, RandomSelector,
 };
 pub use instance::RumorBlockingInstance;
+pub use lcrb_diffusion::{CancelToken, RunBudget, StopReason, WorkMeter};
 pub use objective::{ObjectiveModel, ProtectionObjective};
 pub use scbg::{scbg, scbg_weighted, ScbgConfig, ScbgSolution};
 pub use sketch_objective::{CoverageScratch, SketchIndex, SketchObjective, SketchParams};

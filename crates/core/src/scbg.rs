@@ -22,10 +22,11 @@
 
 use std::collections::BTreeMap;
 
+use lcrb_diffusion::{StopReason, WorkMeter};
 use lcrb_graph::traversal::{CsrBfsScratch, Direction};
 use lcrb_graph::NodeId;
 
-use crate::setcover::greedy_set_cover;
+use crate::setcover::greedy_set_cover_metered;
 use crate::{find_bridge_ends, BridgeEndRule, BridgeEnds, RumorBlockingInstance};
 
 /// Tuning knobs for [`scbg`].
@@ -90,16 +91,44 @@ impl ScbgSolution {
 /// ```
 #[must_use]
 pub fn scbg(instance: &RumorBlockingInstance, config: &ScbgConfig) -> ScbgSolution {
+    let (solution, _) = scbg_metered(instance, config, &WorkMeter::unlimited())
+        // xtask-allow: panic -- an unlimited meter's poll never stops SCBG
+        .expect("unlimited meter cannot stop SCBG");
+    solution
+}
+
+/// [`scbg`] under a [`WorkMeter`]: the star-set build polls once per
+/// bridge end and the cover loop once per pick.
+///
+/// A deadline stop during the *cover* keeps the selection prefix (a
+/// valid partial cover, reported via `Some(reason)` and a `covered`
+/// count below `bridge_ends.len()`); a stop during the *star-set
+/// build* has no salvageable prefix and surfaces as an error.
+/// Work-unit caps never stop SCBG — it runs no simulations and no
+/// sketches, matching the deterministic-checkpoint discipline.
+///
+/// # Errors
+///
+/// The observed [`StopReason`] on cancellation anywhere, or on any
+/// stop before the star sets are complete.
+pub(crate) fn scbg_metered(
+    instance: &RumorBlockingInstance,
+    config: &ScbgConfig,
+    meter: &WorkMeter,
+) -> Result<(ScbgSolution, Option<StopReason>), StopReason> {
     let bridge_ends = find_bridge_ends(instance, config.rule);
-    let (candidates, sets) = build_star_sets(instance, &bridge_ends, config.max_bbst_depth);
-    let solution = greedy_set_cover(bridge_ends.len(), &sets);
+    let (candidates, sets) = build_star_sets(instance, &bridge_ends, config.max_bbst_depth, meter)?;
+    let (solution, stop) = greedy_set_cover_metered(bridge_ends.len(), &sets, meter)?;
     let protectors = solution.selected.iter().map(|&i| candidates[i]).collect();
-    ScbgSolution {
-        protectors,
-        covered: solution.covered,
-        candidate_count: candidates.len(),
-        bridge_ends,
-    }
+    Ok((
+        ScbgSolution {
+            protectors,
+            covered: solution.covered,
+            candidate_count: candidates.len(),
+            bridge_ends,
+        },
+        stop,
+    ))
 }
 
 /// Steps 4–5 of Algorithm 3 on the instance's CSR snapshot: one
@@ -107,12 +136,15 @@ pub fn scbg(instance: &RumorBlockingInstance, config: &ScbgConfig) -> ScbgSoluti
 /// capped) through a single reused [`CsrBfsScratch`], inverted on the
 /// fly into the star sets `SW_u = {v : u ∈ Q_v}`. Returns the
 /// candidate nodes in ascending id order (for reproducible covers)
-/// and their sets.
+/// and their sets. Polls `meter` once per bridge end; any stop
+/// surfaces as an error because a partial star-set collection cannot
+/// seed a meaningful cover.
 fn build_star_sets(
     instance: &RumorBlockingInstance,
     bridge_ends: &BridgeEnds,
     max_bbst_depth: Option<u32>,
-) -> (Vec<NodeId>, Vec<Vec<u32>>) {
+    meter: &WorkMeter,
+) -> Result<(Vec<NodeId>, Vec<Vec<u32>>), StopReason> {
     let csr = instance.snapshot();
     // Infection times: hop distance from the nearest rumor originator
     // in the full graph.
@@ -131,6 +163,7 @@ fn build_star_sets(
     let mut sw: BTreeMap<NodeId, Vec<u32>> = BTreeMap::new();
     let mut back = CsrBfsScratch::new();
     for (b_idx, &v) in bridge_ends.nodes.iter().enumerate() {
+        meter.poll()?;
         let depth = d_r
             .distance(v)
             // xtask-allow: panic -- bridge ends are discovered by forward BFS from the rumor seeds, so a distance exists
@@ -145,7 +178,7 @@ fn build_star_sets(
     }
 
     // BTreeMap iteration is already in ascending NodeId order.
-    sw.into_iter().unzip()
+    Ok(sw.into_iter().unzip())
 }
 
 /// Cost-aware SCBG — an extension beyond the paper: protectors have
@@ -187,7 +220,14 @@ where
     F: Fn(NodeId) -> f64,
 {
     let bridge_ends = find_bridge_ends(instance, config.rule);
-    let (candidates, sets) = build_star_sets(instance, &bridge_ends, config.max_bbst_depth);
+    let (candidates, sets) = build_star_sets(
+        instance,
+        &bridge_ends,
+        config.max_bbst_depth,
+        &WorkMeter::unlimited(),
+    )
+    // xtask-allow: panic -- an unlimited meter's poll never stops the build
+    .expect("unlimited meter cannot stop the star-set build");
     let costs: Vec<f64> = candidates.iter().map(|&u| cost(u)).collect();
     let solution = crate::setcover::greedy_weighted_set_cover(bridge_ends.len(), &sets, &costs);
     ScbgSolution {

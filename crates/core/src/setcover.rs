@@ -9,6 +9,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use lcrb_diffusion::{StopReason, WorkMeter};
+
 /// The result of a greedy set cover run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SetCoverSolution {
@@ -50,6 +52,29 @@ pub struct SetCoverSolution {
 /// ```
 #[must_use]
 pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> SetCoverSolution {
+    let (solution, _) = greedy_set_cover_metered(universe_size, sets, &WorkMeter::unlimited())
+        // xtask-allow: panic -- an unlimited meter's poll never stops the cover loop
+        .expect("unlimited meter cannot stop the cover");
+    solution
+}
+
+/// [`greedy_set_cover`] under a [`WorkMeter`]: the meter is polled
+/// before each heap pop, so a deadline stop keeps the selection
+/// prefix built so far (a valid partial cover) while a cancellation
+/// aborts.
+///
+/// Returns `Some(reason)` alongside the (then partial) solution when
+/// a deadline stopped the loop; work-unit caps do not apply to set
+/// cover.
+///
+/// # Errors
+///
+/// [`StopReason::Cancelled`] when a poll observes cancellation.
+pub(crate) fn greedy_set_cover_metered(
+    universe_size: usize,
+    sets: &[Vec<u32>],
+    meter: &WorkMeter,
+) -> Result<(SetCoverSolution, Option<StopReason>), StopReason> {
     for (i, s) in sets.iter().enumerate() {
         for &e in s {
             assert!(
@@ -61,6 +86,7 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> SetCoverSolu
     let mut covered = vec![false; universe_size];
     let mut covered_count = 0usize;
     let mut selected = Vec::new();
+    let mut stop = None;
 
     // Heap of (gain, set index); gains may be stale and are re-scored
     // on pop.
@@ -73,6 +99,14 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> SetCoverSolu
         |i: usize, covered: &[bool]| sets[i].iter().filter(|&&e| !covered[e as usize]).count();
 
     while covered_count < universe_size {
+        match meter.poll() {
+            Ok(()) => {}
+            Err(StopReason::Cancelled) => return Err(StopReason::Cancelled),
+            Err(reason) => {
+                stop = Some(reason);
+                break;
+            }
+        }
         let Some((claimed, Reverse(i))) = heap.pop() else {
             break;
         };
@@ -94,11 +128,14 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<u32>]) -> SetCoverSolu
             }
         }
     }
-    SetCoverSolution {
-        cost: selected.len() as f64,
-        selected,
-        covered: covered_count,
-    }
+    Ok((
+        SetCoverSolution {
+            cost: selected.len() as f64,
+            selected,
+            covered: covered_count,
+        },
+        stop,
+    ))
 }
 
 /// Weighted greedy set cover: repeatedly pick the set minimizing

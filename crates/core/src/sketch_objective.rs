@@ -27,7 +27,7 @@
 
 use std::sync::Arc;
 
-use lcrb_diffusion::{rr_sketch_into, OpoaoRealization, RrScratch, SketchBatch};
+use lcrb_diffusion::{rr_sketch_batch_into, OpoaoRealization, RrScratch, SketchBatch, WorkMeter};
 use lcrb_graph::NodeId;
 
 use crate::{LcrbError, RumorBlockingInstance};
@@ -185,6 +185,13 @@ pub struct SketchIndex {
     total: u64,
     always_saved: u64,
     set_count: usize,
+    /// θ* the `(ε, δ)` schedule called for at the point generation
+    /// stopped; equals `total` unless the build was truncated by a
+    /// sketch budget.
+    target: u64,
+    /// Whether a sketch budget stopped generation short of the
+    /// schedule.
+    truncated: bool,
     /// Inverted node → sketch-id index, CSR layout over all nodes.
     index_offsets: Vec<u32>,
     index_ids: Vec<u32>,
@@ -209,6 +216,34 @@ impl SketchIndex {
     #[must_use]
     pub fn always_saved(&self) -> u64 {
         self.always_saved
+    }
+
+    /// θ* the adaptive schedule called for when generation stopped.
+    /// Equals [`SketchIndex::sketch_count`] unless the build was
+    /// budget-truncated.
+    #[must_use]
+    pub fn sketch_target(&self) -> u64 {
+        self.target
+    }
+
+    /// Whether a sketch budget stopped generation short of the
+    /// `(ε, δ)` schedule — estimates from a truncated index carry a
+    /// widened confidence interval (see
+    /// [`SketchIndex::ci_widening`]).
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Multiplicative widening of the estimator's confidence interval
+    /// from budget truncation: `sqrt(θ*/θ)` (the sampling error of an
+    /// RIS mean scales as `1/sqrt(θ)`). `1.0` for a full build.
+    #[must_use]
+    pub fn ci_widening(&self) -> f64 {
+        if !self.truncated || self.total == 0 {
+            return 1.0;
+        }
+        (self.target as f64 / self.total as f64).sqrt()
     }
 }
 
@@ -265,6 +300,42 @@ impl SketchIndex {
         master_seed: u64,
         max_hops: u32,
     ) -> Result<Self, LcrbError> {
+        let mut meter = WorkMeter::unlimited();
+        SketchIndex::build_metered(
+            instance,
+            bridge_ends,
+            params,
+            master_seed,
+            max_hops,
+            &mut meter,
+        )
+    }
+
+    /// [`SketchIndex::build`] under a [`WorkMeter`]: each sketch is a
+    /// checkpoint.
+    ///
+    /// Sketch `g`'s `(target, realization)` pair depends only on
+    /// `(master_seed, g)`, so a budget stop at any checkpoint yields
+    /// the exact prefix an uninterrupted build would have drawn —
+    /// truncation is deterministic. A truncated build still inverts
+    /// the generated prefix into a usable index
+    /// ([`SketchIndex::is_truncated`] is set and
+    /// [`SketchIndex::ci_widening`] quantifies the accuracy loss); a
+    /// cancellation or deadline stop abandons the build instead.
+    ///
+    /// # Errors
+    ///
+    /// [`LcrbError::InvalidSketchParams`] if `params` is out of
+    /// range; [`LcrbError::Interrupted`] when a cancellation or
+    /// deadline poll fires during generation.
+    pub fn build_metered(
+        instance: &RumorBlockingInstance,
+        bridge_ends: Vec<NodeId>,
+        params: SketchParams,
+        master_seed: u64,
+        max_hops: u32,
+        meter: &mut WorkMeter,
+    ) -> Result<Self, LcrbError> {
         params.validate()?;
         let n = instance.graph().node_count();
         let csr = instance.snapshot();
@@ -280,35 +351,39 @@ impl SketchIndex {
             is_rumor[r.index()] = true;
         }
 
+        let mut truncated = false;
+        let mut schedule_target = 0u64;
         if !bridge_ends.is_empty() {
             let mut theta = params.floor();
             let mut generated = 0usize;
             let mut first_stored = 0usize;
             loop {
-                while generated < theta {
-                    let target = bridge_ends[(mix(master_seed, 2 * generated as u64)
-                        % bridge_ends.len() as u64)
-                        as usize];
-                    let realization =
-                        OpoaoRealization::new(mix(master_seed, 2 * generated as u64 + 1));
-                    rr_sketch_into(
-                        csr,
-                        rumors,
-                        target,
-                        &realization,
-                        max_hops,
-                        &mut scratch,
-                        &mut batch,
-                    );
-                    generated += 1;
-                }
+                schedule_target = theta as u64;
+                let drawn = rr_sketch_batch_into(
+                    csr,
+                    rumors,
+                    |g| {
+                        let target = bridge_ends
+                            [(mix(master_seed, 2 * g) % bridge_ends.len() as u64) as usize];
+                        (target, OpoaoRealization::new(mix(master_seed, 2 * g + 1)))
+                    },
+                    generated as u64,
+                    theta as u64,
+                    max_hops,
+                    &mut scratch,
+                    &mut batch,
+                    meter,
+                )
+                .map_err(|reason| LcrbError::Interrupted { reason })?;
+                generated += drawn as usize;
+                truncated = generated < theta;
                 for s in first_stored..batch.set_count() {
                     for &u in batch.members(s) {
                         cover[u.index()] += 1;
                     }
                 }
                 first_stored = batch.set_count();
-                if theta >= params.max_sketches {
+                if truncated || theta >= params.max_sketches {
                     break;
                 }
                 // Best observed placeable singleton coverage p̂ (rumor
@@ -329,7 +404,9 @@ impl SketchIndex {
         }
 
         // Invert: CSR index node -> ids of stored sketches containing
-        // it. `cover` already holds the per-node counts.
+        // it. `cover` already holds the per-node counts. Runs for
+        // truncated builds too: the generated prefix is a valid
+        // (smaller) sample.
         // xtask-allow: hotpath -- build-phase index construction, once per objective
         let mut index_offsets = vec![0u32; n + 1];
         for v in 0..n {
@@ -352,6 +429,12 @@ impl SketchIndex {
             total: batch.total(),
             always_saved: batch.always_saved(),
             set_count: batch.set_count(),
+            target: if truncated {
+                schedule_target
+            } else {
+                batch.total()
+            },
+            truncated,
             index_offsets,
             index_ids,
         })

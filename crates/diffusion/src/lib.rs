@@ -57,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analytic;
+mod budget;
 mod doam;
 mod ic;
 mod lt;
@@ -73,17 +74,20 @@ mod timestamps;
 mod workspace;
 
 pub use analytic::{doam_analytic, doam_analytic_csr, doam_safe_targets, doam_safe_targets_csr};
+pub use budget::{CancelToken, RunBudget, StopReason, WorkMeter};
 pub use doam::DoamModel;
 pub use ic::{CompetitiveIcModel, IcRealization, InvalidProbabilityError};
 pub use lt::CompetitiveLtModel;
 pub use model::TwoCascadeModel;
-pub use montecarlo::{monte_carlo, monte_carlo_csr, AveragedOutcome, MonteCarloConfig};
+pub use montecarlo::{
+    monte_carlo, monte_carlo_csr, monte_carlo_csr_budgeted, AveragedOutcome, MonteCarloConfig,
+};
 pub use opoao::{OpoaoModel, PAPER_OPOAO_HOPS};
 pub use outcome::{DiffusionOutcome, HopRecord, Status};
 pub use pool::{ScratchLease, ScratchPool};
 pub use realization::OpoaoRealization;
 pub use seeds::{derive_stream, splitmix64, SeedError, SeedSets};
 pub use sis::{CompetitiveSisModel, SisOutcome, SisRecord, SisState};
-pub use sketch::{rr_sketch_into, RrScratch, SketchBatch};
+pub use sketch::{rr_sketch_batch_into, rr_sketch_into, RrScratch, SketchBatch};
 pub use timestamps::{run_opoao_timestamped, EdgeStamp, TimestampedOutcome};
 pub use workspace::SimWorkspace;

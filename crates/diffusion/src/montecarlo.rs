@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 use lcrb_graph::{CsrGraph, DiGraph};
 
+use crate::budget::{StopReason, WorkMeter};
 use crate::{HopRecord, SeedSets, SimWorkspace, TwoCascadeModel};
 
 /// Configuration for [`monte_carlo`].
@@ -282,9 +283,93 @@ where
         .into_average()
 }
 
+/// [`monte_carlo_csr`] under a [`WorkMeter`]: the batch's simulation
+/// cost is charged up front (all-or-nothing against
+/// [`crate::RunBudget::max_sims`]) and cancellation/deadline polls run
+/// per simulation.
+///
+/// The checkpoint discipline keeps the work-budget path
+/// deterministic: either the whole batch fits under the cap and the
+/// result is bitwise-identical to [`monte_carlo_csr`] (for any thread
+/// count), or the kernel stops *before* running it — a truncated
+/// average is never produced. Cancellation and deadlines observed
+/// mid-batch also discard the batch by returning the stop instead of
+/// a partial mean.
+///
+/// # Errors
+///
+/// The [`StopReason`] that fired: a work-cap rejection up front, or a
+/// cancellation/deadline observed during the batch.
+pub fn monte_carlo_csr_budgeted<M>(
+    model: &M,
+    graph: &CsrGraph,
+    seeds: &SeedSets,
+    config: &MonteCarloConfig,
+    meter: &mut WorkMeter,
+) -> Result<AveragedOutcome, StopReason>
+where
+    M: TwoCascadeModel + Sync,
+{
+    meter.charge_sims(config.runs as u64)?;
+    if !meter.polls_needed() || config.runs == 0 {
+        return Ok(monte_carlo_csr(model, graph, seeds, config));
+    }
+    let runs = config.runs;
+    let threads = config.effective_threads().min(runs).max(1);
+    if threads == 1 {
+        let mut acc = SeriesAccumulator::default();
+        let mut ws = SimWorkspace::with_capacity(graph.node_count());
+        for run in 0..runs {
+            meter.poll()?;
+            let mut rng = SmallRng::seed_from_u64(run_seed(config.base_seed, run));
+            model.run_into(graph, seeds, &mut ws, &mut rng);
+            acc.add_trace(ws.trace());
+        }
+        return Ok(acc.into_average());
+    }
+    let shared: &WorkMeter = meter;
+    let accumulators = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let base_seed = config.base_seed;
+            handles.push(scope.spawn(move || {
+                let mut acc = SeriesAccumulator::default();
+                let mut ws = SimWorkspace::with_capacity(graph.node_count());
+                let mut run = t;
+                while run < runs {
+                    if shared.poll().is_err() {
+                        // The stop is re-observed (and reported) by
+                        // the coordinator's poll below; both stop
+                        // conditions are monotone.
+                        break;
+                    }
+                    let mut rng = SmallRng::seed_from_u64(run_seed(base_seed, run));
+                    model.run_into(graph, seeds, &mut ws, &mut rng);
+                    acc.add_trace(ws.trace());
+                    run += threads;
+                }
+                acc
+            }));
+        }
+        handles
+            .into_iter()
+            // xtask-allow: panic -- re-raising a worker panic on the coordinating thread is the intended behavior
+            .map(|h| h.join().expect("monte carlo worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    meter.poll()?;
+    Ok(accumulators
+        .into_iter()
+        .reduce(SeriesAccumulator::merge)
+        // xtask-allow: panic -- thread count is clamped to at least 1, so one accumulator always exists
+        .expect("at least one worker")
+        .into_average())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{CancelToken, RunBudget};
     use crate::{DoamModel, OpoaoModel};
     use lcrb_graph::generators;
     use lcrb_graph::NodeId;
@@ -454,6 +539,69 @@ mod tests {
         assert!(at_two > 2.0 && at_two < 5.0, "hop-2 mean {at_two}");
         for w in avg.mean_infected_by_hop.windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn budgeted_driver_matches_unbudgeted_when_the_batch_fits() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = generators::gnm_directed(40, 160, &mut rng).unwrap();
+        let csr = lcrb_graph::CsrGraph::from(&g);
+        let s = seeds(&g, &[0], &[1]);
+        let cfg = MonteCarloConfig {
+            runs: 16,
+            base_seed: 7,
+            threads: 3,
+        };
+        let plain = monte_carlo_csr(&OpoaoModel::new(8), &csr, &s, &cfg);
+        for budget in [
+            RunBudget::unlimited(),
+            RunBudget::unlimited().with_max_sims(16),
+        ] {
+            let mut meter = WorkMeter::new(budget, Some(CancelToken::new()), None);
+            let metered = monte_carlo_csr_budgeted(&OpoaoModel::new(8), &csr, &s, &cfg, &mut meter)
+                .expect("batch fits");
+            assert_eq!(plain, metered);
+            assert_eq!(meter.spent().0, 16);
+        }
+    }
+
+    #[test]
+    fn budgeted_driver_rejects_an_oversized_batch_without_charging() {
+        let g = generators::path_graph(4);
+        let csr = lcrb_graph::CsrGraph::from(&g);
+        let s = seeds(&g, &[0], &[]);
+        let cfg = MonteCarloConfig {
+            runs: 8,
+            base_seed: 1,
+            threads: 1,
+        };
+        let mut meter = WorkMeter::new(RunBudget::unlimited().with_max_sims(7), None, None);
+        assert_eq!(
+            monte_carlo_csr_budgeted(&OpoaoModel::default(), &csr, &s, &cfg, &mut meter),
+            Err(StopReason::SimBudget)
+        );
+        assert_eq!(meter.spent().0, 0, "rejected batch must not charge");
+    }
+
+    #[test]
+    fn budgeted_driver_observes_cancellation_in_serial_and_threaded_paths() {
+        let g = generators::path_graph(5);
+        let csr = lcrb_graph::CsrGraph::from(&g);
+        let s = seeds(&g, &[0], &[]);
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 3] {
+            let cfg = MonteCarloConfig {
+                runs: 8,
+                base_seed: 2,
+                threads,
+            };
+            let mut meter = WorkMeter::new(RunBudget::unlimited(), Some(token.clone()), None);
+            assert_eq!(
+                monte_carlo_csr_budgeted(&OpoaoModel::default(), &csr, &s, &cfg, &mut meter),
+                Err(StopReason::Cancelled)
+            );
         }
     }
 }

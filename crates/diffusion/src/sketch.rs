@@ -54,6 +54,7 @@
 
 use lcrb_graph::{CsrGraph, NodeId};
 
+use crate::budget::{StopReason, WorkMeter};
 use crate::realization::OpoaoRealization;
 
 /// A batch of RR sketches in CSR-style arena storage.
@@ -308,6 +309,59 @@ pub fn rr_sketch_into(
     backward_collect(graph, target, tau, realization, scratch, epoch, batch);
     batch.total += 1;
     true
+}
+
+/// Generates sketches `start..end` (global indices) into `batch`,
+/// metered: each sketch is a checkpoint — the meter is polled and one
+/// sketch is charged before it is drawn.
+///
+/// `draw` maps a global sketch index to its `(target, realization)`
+/// pair; keeping the drawing rule in the caller keeps this loop
+/// independent of how targets and seeds are derived, and the
+/// index-based contract is what makes budget truncation deterministic
+/// (sketch `g` is the same sketch regardless of where the budget
+/// stops).
+///
+/// Returns the number of sketches actually generated. A return less
+/// than `end - start` means [`crate::RunBudget::max_sketches`] was
+/// reached — a valid truncation, the caller widens its confidence
+/// interval accordingly.
+///
+/// # Errors
+///
+/// [`StopReason::Cancelled`] / [`StopReason::DeadlineExpired`] when a
+/// poll observes them; sketches generated before the stop are already
+/// in `batch` but the caller is expected to abandon the build.
+#[allow(clippy::too_many_arguments)]
+pub fn rr_sketch_batch_into(
+    graph: &CsrGraph,
+    rumors: &[NodeId],
+    mut draw: impl FnMut(u64) -> (NodeId, OpoaoRealization),
+    start: u64,
+    end: u64,
+    max_hops: u32,
+    scratch: &mut RrScratch,
+    batch: &mut SketchBatch,
+    meter: &mut WorkMeter,
+) -> Result<u64, StopReason> {
+    for g in start..end {
+        match meter.charge_sketch() {
+            Ok(()) => {}
+            Err(StopReason::SketchBudget) => return Ok(g - start),
+            Err(stop) => return Err(stop),
+        }
+        let (target, realization) = draw(g);
+        rr_sketch_into(
+            graph,
+            rumors,
+            target,
+            &realization,
+            max_hops,
+            scratch,
+            batch,
+        );
+    }
+    Ok(end - start)
 }
 
 /// Forward temporal pass: earliest rumor arrival at `target`, or

@@ -20,8 +20,8 @@
 //!    model** ([`model`]) — item tree, call graph, lock-acquisition
 //!    sites, cache-family key types;
 //! 2. the cross-file rule families ([`wrules`]) run against that
-//!    model: `lockorder`, `epochkey`, `hotreach`, and the `pubapi`
-//!    baseline diff.
+//!    model: `lockorder`, `epochkey`, `hotreach`, `cancelpoint`, and
+//!    the `pubapi` baseline diff.
 //!
 //! Suppression is per-line `// xtask-allow: <rule> -- <justification>`
 //! for every family except `pubapi`, whose only escape hatch is
@@ -115,33 +115,21 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     lint_workspace_with(root, &LintOptions::default())
 }
 
-/// The full two-phase lint: per-file families, the workspace model,
-/// and the cross-file families, honoring `opts`.
-///
-/// # Errors
-///
-/// Returns any I/O error encountered while walking or reading files,
-/// or while writing the baseline under `--bless-api`.
-pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<Vec<Violation>> {
-    // Read + lex every in-scope file once; both phases share it.
-    let mut entries: Vec<(String, String)> = Vec::new();
-    for path in collect_sources(root)? {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        if classify(&rel).is_none() {
-            continue;
-        }
-        let source = std::fs::read_to_string(&path)?;
-        entries.push((rel, source));
-    }
-
+/// Both lint phases over in-memory `(relative path, source)` pairs:
+/// per-file raw violations, the workspace model, the model-backed
+/// cross-file families (except the baseline-diffing `pubapi`, which
+/// needs a workspace root), and the shared `xtask-allow` pragma pass.
+/// Returns the surviving diagnostics plus the model so callers can
+/// run `pubapi` against it.
+#[must_use]
+pub fn lint_entries(
+    entries: &[(String, String)],
+    opts: &LintOptions,
+) -> (Vec<Violation>, WorkspaceModel) {
     // Phase 1: per-file raw violations + the workspace model.
     let mut raw_by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
     let mut lexed_by_file: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
-    for (rel, source) in &entries {
+    for (rel, source) in entries {
         let lexed = lexer::lex(source);
         let mut raw = rules::lint_source_raw(rel, source, &lexed);
         if let Some(filter) = &opts.rules {
@@ -169,6 +157,9 @@ pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<V
     if opts.enabled("hotreach") {
         workspace_raw.extend(wrules::hotreach(&model));
     }
+    if opts.enabled("cancelpoint") {
+        workspace_raw.extend(wrules::cancelpoint(&model));
+    }
     for v in workspace_raw {
         raw_by_file.entry(v.file.clone()).or_default().push(v);
     }
@@ -180,10 +171,38 @@ pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<V
                 violations.extend(rules::apply_allows(&rel, lexed, raw, opts.rules.is_none()))
             }
             // Violations attributed to a non-source file (none today;
-            // pubapi is appended below) pass through unsuppressed.
+            // pubapi is appended by `lint_workspace_with`) pass
+            // through unsuppressed.
             None => violations.extend(raw),
         }
     }
+    (violations, model)
+}
+
+/// The full two-phase lint: per-file families, the workspace model,
+/// and the cross-file families, honoring `opts`.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files,
+/// or while writing the baseline under `--bless-api`.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<Vec<Violation>> {
+    // Read + lex every in-scope file once; both phases share it.
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path)?;
+        entries.push((rel, source));
+    }
+
+    let (mut violations, model) = lint_entries(&entries, opts);
 
     // `pubapi` last: baseline diff (or regeneration), never
     // pragma-suppressible.

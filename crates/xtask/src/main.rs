@@ -104,7 +104,7 @@ fn print_usage() {
          \x20        (determinism, panic surface, hot-path discipline,\n\
          \x20        attribute hygiene, ...) plus the cross-file families on\n\
          \x20        the workspace model (lockorder, epochkey, hotreach,\n\
-         \x20        pubapi)\n\
+         \x20        cancelpoint, pubapi)\n\
          \n\
          Options:\n\
          \x20 --format json   machine-readable output (one JSON document)\n\

@@ -1,8 +1,8 @@
 //! The per-file lint rules: scoping, test-code stripping, rule
 //! checks, and `xtask-allow` pragma application. (The cross-file
-//! families — `lockorder`, `epochkey`, `hotreach`, `pubapi` — live in
-//! [`crate::wrules`] and run against the [`crate::model`] workspace
-//! model.)
+//! families — `lockorder`, `epochkey`, `hotreach`, `cancelpoint`,
+//! `pubapi` — live in [`crate::wrules`] and run against the
+//! [`crate::model`] workspace model.)
 //!
 //! Nine per-file rule families guard the invariants the paper
 //! reproduction depends on (see DESIGN.md §"Static analysis layer"):
@@ -46,10 +46,11 @@ use std::collections::BTreeSet;
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
 /// Rule identifiers accepted by `xtask-allow` pragmas. The first nine
-/// are per-file families; `lockorder`, `epochkey`, `hotreach`, and
-/// `pubapi` are the cross-file families run against the workspace
-/// model ([`crate::model`] / [`crate::wrules`]).
-pub const KNOWN_RULES: [&str; 13] = [
+/// are per-file families; `lockorder`, `epochkey`, `hotreach`,
+/// `cancelpoint`, and `pubapi` are the cross-file families run
+/// against the workspace model ([`crate::model`] /
+/// [`crate::wrules`]).
+pub const KNOWN_RULES: [&str; 14] = [
     "determinism",
     "panic",
     "index",
@@ -62,6 +63,7 @@ pub const KNOWN_RULES: [&str; 13] = [
     "lockorder",
     "epochkey",
     "hotreach",
+    "cancelpoint",
     "pubapi",
 ];
 

@@ -1,7 +1,7 @@
 //! Phase 2 of the two-phase analyzer: cross-file rule passes over the
 //! [`crate::model::WorkspaceModel`].
 //!
-//! Four families, each guarding an invariant the shared `Solver`
+//! Five families, each guarding an invariant the shared `Solver`
 //! session (PR 5) rests on that no per-file token scan can see:
 //!
 //! - **`lockorder`** — builds the static lock/gate acquisition graph
@@ -27,6 +27,16 @@
 //!   flagged, whatever file it lives in. Functions already inside the
 //!   declared hot-module list are covered by the per-file families
 //!   and skipped here.
+//! - **`cancelpoint`** — the anytime-solve contract (budgets and
+//!   cancellation ride on every `SolveRequest`) only holds if the
+//!   long-running loops actually reach a checkpoint. Any unbounded
+//!   loop (`while`/`loop`; `for` is bounded by its iterator) in a
+//!   hot module whose body drives a simulation kernel must also
+//!   contain a call that reaches a `WorkMeter` checkpoint (`poll`,
+//!   `charge_sims`, ...) — directly, through a helper, or inside the
+//!   kernel itself. Reachability reuses the workspace call graph, so
+//!   a loop calling an internally-metered kernel passes without a
+//!   redundant outer poll.
 //! - **`pubapi`** — renders the deterministic public-API surface from
 //!   the symbol model ([`api_surface`]) and diffs it against the
 //!   checked-in `docs/api-baseline.txt` ([`pubapi_diff`]); drift
@@ -514,6 +524,172 @@ fn allocation_sites(model: &WorkspaceModel, fi: usize) -> Vec<(usize, String)> {
         }
         i += 1;
     }
+    out
+}
+
+/// Simulation kernel entry points for the `cancelpoint` family: the
+/// lock-sensitive hot calls plus the metered kernels the budget
+/// subsystem added (which poll internally and therefore satisfy the
+/// checkpoint requirement on their own).
+const CANCEL_KERNELS: [&str; 3] = [
+    "rr_sketch_into",
+    "rr_sketch_batch_into",
+    "monte_carlo_csr_budgeted",
+];
+
+/// `WorkMeter` checkpoint methods: a call reaching any of these
+/// counts as a budget/cancellation poll for `cancelpoint`.
+const CHECKPOINT_CALLS: [&str; 5] = [
+    "poll",
+    "charge_sims",
+    "charge_sketch",
+    "advances_exhausted",
+    "note_advance",
+];
+
+/// The set of fns that transitively contain a call site naming one
+/// of `names`: seeds are direct callers (resolved or not, so
+/// cross-crate method calls like `meter.poll()` count), propagated
+/// to callers through the resolved call graph.
+fn callers_reaching(model: &WorkspaceModel, names: &[&str]) -> BTreeSet<usize> {
+    let mut reverse: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut set = BTreeSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, f) in model.fns.iter().enumerate() {
+        for call in &f.calls {
+            for t in model.resolve_call(f, call) {
+                reverse.entry(t).or_default().push(i);
+            }
+            if names.contains(&call.callee.as_str()) && set.insert(i) {
+                queue.push_back(i);
+            }
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &caller in reverse.get(&cur).into_iter().flatten() {
+            if set.insert(caller) {
+                queue.push_back(caller);
+            }
+        }
+    }
+    set
+}
+
+/// Unbounded loops (`while`/`loop`) found in one fn body:
+/// `(keyword_line, first_body_line, last_body_line)` triples. `for`
+/// loops are bounded by their iterator and skipped. The loop body is
+/// located lexically: for `while`, the first `{` at paren/bracket
+/// depth 0 after the keyword opens the body (Rust forbids bare
+/// struct literals in loop conditions, so the heuristic is exact for
+/// idiomatic code).
+fn unbounded_loops(model: &WorkspaceModel, fi: usize) -> Vec<(usize, usize, usize)> {
+    let f = &model.fns[fi];
+    let toks = &model.files[f.file_index].tokens;
+    let (start, end) = f.body;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == crate::lexer::TokKind::Ident && (t.is_ident("while") || t.is_ident("loop")) {
+            // Find the body-opening `{` at bracket depth 0.
+            let mut depth = 0i32;
+            let mut open = None;
+            for (j, tok) in toks.iter().enumerate().take(end).skip(i + 1) {
+                if tok.kind == crate::lexer::TokKind::Punct {
+                    match tok.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if let Some(open) = open {
+                // Match the closing brace.
+                let mut braces = 1i32;
+                let mut close = open;
+                for (j, tok) in toks.iter().enumerate().take(end).skip(open + 1) {
+                    if tok.kind == crate::lexer::TokKind::Punct {
+                        match tok.text.as_str() {
+                            "{" => braces += 1,
+                            "}" => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    close = j;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                out.push((t.line, toks[open].line, toks[close].line));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The `cancelpoint` pass: an unbounded loop in a hot module whose
+/// body drives a simulation kernel must also reach a `WorkMeter`
+/// checkpoint, or the budget/cancellation contract silently fails to
+/// cover the longest-running code in the workspace.
+#[must_use]
+pub fn cancelpoint(model: &WorkspaceModel) -> Vec<Violation> {
+    let is_kernel = |name: &str| HOT_CALLS.contains(&name) || CANCEL_KERNELS.contains(&name);
+    let kernel_reach = callers_reaching(
+        model,
+        &HOT_CALLS
+            .iter()
+            .chain(CANCEL_KERNELS.iter())
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    let checkpoint_reach = callers_reaching(model, &CHECKPOINT_CALLS);
+
+    let mut out = Vec::new();
+    for (fi, f) in model.fns.iter().enumerate() {
+        if !HOT_FILES.contains(&f.file.as_str()) {
+            continue;
+        }
+        for (kw_line, body_start, body_end) in unbounded_loops(model, fi) {
+            let in_body = |line: usize| line >= body_start && line <= body_end;
+            let mut kernel: Option<&str> = None;
+            let mut checkpointed = false;
+            for call in &f.calls {
+                if !in_body(call.line) {
+                    continue;
+                }
+                let reaches = |set: &BTreeSet<usize>| {
+                    model.resolve_call(f, call).iter().any(|t| set.contains(t))
+                };
+                if is_kernel(&call.callee) || reaches(&kernel_reach) {
+                    kernel.get_or_insert(call.callee.as_str());
+                }
+                if CHECKPOINT_CALLS.contains(&call.callee.as_str()) || reaches(&checkpoint_reach) {
+                    checkpointed = true;
+                }
+            }
+            if let Some(kernel) = kernel {
+                if !checkpointed {
+                    out.push(Violation {
+                        file: f.file.clone(),
+                        line: kw_line,
+                        rule: "cancelpoint".to_owned(),
+                        message: format!(
+                            "unbounded loop in `{}` drives simulation kernel `{kernel}` without reaching a budget checkpoint; poll a `WorkMeter` inside the loop (or justify with `// xtask-allow: cancelpoint -- <why>`)",
+                            qualified(f)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
 }
 

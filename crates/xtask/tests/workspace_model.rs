@@ -515,15 +515,162 @@ fn api_surface_is_deterministic_and_sorted() {
 }
 
 // ---------------------------------------------------------------
-// The real workspace passes all four families.
+// Phase 2: `cancelpoint` on synthetic fixtures.
+// ---------------------------------------------------------------
+
+/// A hot-module path so the fixture falls inside the rule's scope.
+const HOT_FIXTURE: &str = "crates/diffusion/src/sketch.rs";
+
+#[test]
+fn cancelpoint_flags_an_unmetered_kernel_loop() {
+    let src = r#"
+pub fn drain(n: u32) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        acc += sigma_with(acc);
+    }
+    acc
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[(HOT_FIXTURE, src)]);
+    let violations = wrules::cancelpoint(&model);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "cancelpoint");
+    assert_eq!(violations[0].line, 4);
+    assert!(violations[0].message.contains("sigma_with"));
+    assert!(violations[0].message.contains("drain"));
+}
+
+#[test]
+fn cancelpoint_accepts_a_direct_poll_in_the_loop() {
+    let src = r#"
+pub fn drain(n: u32, meter: &WorkMeter) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        meter.poll();
+        acc += sigma_with(acc);
+    }
+    acc
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[(HOT_FIXTURE, src)]);
+    assert!(wrules::cancelpoint(&model).is_empty());
+}
+
+#[test]
+fn cancelpoint_accepts_a_checkpoint_reached_through_a_helper() {
+    let src = r#"
+pub fn drain(n: u32, meter: &WorkMeter) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        checkpoint(meter);
+        acc += sigma_with(acc);
+    }
+    acc
+}
+fn checkpoint(meter: &WorkMeter) {
+    meter.charge_sims(1);
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[(HOT_FIXTURE, src)]);
+    assert!(wrules::cancelpoint(&model).is_empty());
+}
+
+#[test]
+fn cancelpoint_accepts_an_internally_metered_kernel() {
+    // The metered kernels poll for themselves, so a loop driving one
+    // needs no redundant outer checkpoint.
+    let src = r#"
+pub fn drain(n: u32, meter: &mut WorkMeter) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        acc += monte_carlo_csr_budgeted(acc, meter);
+    }
+    acc
+}
+fn monte_carlo_csr_budgeted(x: u32, meter: &mut WorkMeter) -> u32 {
+    meter.charge_sims(1);
+    x + 1
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[(HOT_FIXTURE, src)]);
+    assert!(wrules::cancelpoint(&model).is_empty());
+}
+
+#[test]
+fn cancelpoint_skips_bounded_for_loops_and_cold_files() {
+    // `for` is bounded by its iterator: no checkpoint required.
+    let bounded = r#"
+pub fn sweep(n: u32) -> u32 {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += sigma_with(i);
+    }
+    acc
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[(HOT_FIXTURE, bounded)]);
+    assert!(wrules::cancelpoint(&model).is_empty());
+
+    // The same unmetered loop outside the hot-module list is out of
+    // scope (cold code is free to block; only the kernels must stay
+    // cancellable).
+    let unmetered = r#"
+pub fn drain(n: u32) -> u32 {
+    let mut acc = 0;
+    while acc < n {
+        acc += sigma_with(acc);
+    }
+    acc
+}
+"#;
+    let model = WorkspaceModel::from_sources(&[("crates/core/src/evaluate.rs", unmetered)]);
+    assert!(wrules::cancelpoint(&model).is_empty());
+}
+
+#[test]
+fn cancelpoint_pragma_suppresses_through_the_lint_pipeline() {
+    let src = r#"
+pub fn drain(n: u32) -> u32 {
+    let mut acc = 0;
+    // xtask-allow: cancelpoint -- iterations are pre-charged at the caller's checkpoint
+    while acc < n {
+        acc += sigma_with(acc);
+    }
+    acc
+}
+"#;
+    let opts = LintOptions {
+        rules: Some(std::iter::once("cancelpoint".to_owned()).collect()),
+        bless_api: false,
+    };
+    let entries = vec![(HOT_FIXTURE.to_owned(), src.to_owned())];
+    let (violations, _) = xtask::lint_entries(&entries, &opts);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Without the pragma the same pipeline reports it.
+    let bare = vec![(
+        HOT_FIXTURE.to_owned(),
+        src.replace(
+            "    // xtask-allow: cancelpoint -- iterations are pre-charged at the caller's checkpoint\n",
+            "",
+        ),
+    )];
+    let (violations, _) = xtask::lint_entries(&bare, &opts);
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert_eq!(violations[0].rule, "cancelpoint");
+}
+
+// ---------------------------------------------------------------
+// The real workspace passes all five families.
 // ---------------------------------------------------------------
 
 #[test]
-fn the_workspace_passes_all_four_crossfile_families() {
+fn the_workspace_passes_all_crossfile_families() {
     let root = workspace_root();
     let opts = LintOptions {
         rules: Some(
-            ["lockorder", "epochkey", "hotreach", "pubapi"]
+            ["lockorder", "epochkey", "hotreach", "cancelpoint", "pubapi"]
                 .into_iter()
                 .map(str::to_owned)
                 .collect(),

@@ -1,7 +1,8 @@
 //! How much protection does each additional protector buy?
 //!
 //! ```text
-//! cargo run --release --example protection_budget [--estimator mc|sketch]
+//! cargo run --release --example protection_budget \
+//!     [--estimator mc|sketch] [--max-sims N] [--deadline-ms MS]
 //! ```
 //!
 //! Opens a [`Solver`] session, runs the LCRB-P greedy (Algorithm 1,
@@ -17,35 +18,74 @@
 //! `mc` (default) evaluates protector sets on fixed Monte-Carlo
 //! realizations; `sketch` switches to the RR-sketch estimator, which
 //! trades a one-time sampling pass for much cheaper per-set queries.
+//!
+//! `--max-sims` caps the Monte-Carlo simulation budget (a
+//! deterministic work-unit cap: the solve degrades to the same prefix
+//! on every run) and `--deadline-ms` attaches an advisory wall-clock
+//! deadline; either way a starved solve reports `Completion::Degraded`
+//! instead of failing.
 
 use lcrb_repro::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-fn parse_estimator() -> Result<Estimator, String> {
+struct Options {
+    estimator: Estimator,
+    budget: RunBudget,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut estimator = Estimator::MonteCarlo;
+    let mut budget = RunBudget::unlimited();
     let mut args = std::env::args().skip(1);
-    let value = match args.next().as_deref() {
-        None => None,
-        Some("--estimator") => match args.next() {
-            Some(v) => Some(v),
-            None => return Err("--estimator needs a value (mc or sketch)".to_owned()),
-        },
-        Some(flag) => match flag.strip_prefix("--estimator=") {
-            Some(v) => Some(v.to_owned()),
-            None => return Err(format!("unknown argument {flag:?} (expected --estimator)")),
-        },
-    };
-    match value.as_deref() {
-        None | Some("mc") => Ok(Estimator::MonteCarlo),
-        Some("sketch") => Ok(Estimator::Sketch(SketchParams::default())),
-        Some(other) => Err(format!(
-            "unknown estimator {other:?} (expected mc or sketch)"
-        )),
+    while let Some(flag) = args.next() {
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n.to_owned(), Some(v.to_owned())),
+            None => (flag, None),
+        };
+        let value = match inline {
+            Some(v) => v,
+            None => match args.next() {
+                Some(v) => v,
+                None => return Err(format!("{name} needs a value")),
+            },
+        };
+        match name.as_str() {
+            "--estimator" => {
+                estimator = match value.as_str() {
+                    "mc" => Estimator::MonteCarlo,
+                    "sketch" => Estimator::Sketch(SketchParams::default()),
+                    other => {
+                        return Err(format!(
+                            "unknown estimator {other:?} (expected mc or sketch)"
+                        ))
+                    }
+                }
+            }
+            "--max-sims" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|e| format!("--max-sims expects a count: {e}"))?;
+                budget = budget.with_max_sims(n);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms expects milliseconds: {e}"))?;
+                budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            other => {
+                return Err(format!(
+                "unknown argument {other:?} (expected --estimator, --max-sims, or --deadline-ms)"
+            ))
+            }
+        }
     }
+    Ok(Options { estimator, budget })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let estimator = parse_estimator()?;
+    let Options { estimator, budget } = parse_options()?;
     println!(
         "estimator: {}",
         match estimator {
@@ -69,12 +109,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         realizations: 32,
         candidates: CandidatePool::BackwardRadius(2),
         estimator,
+        budget,
         ..SolveRequest::greedy_budget(0)
     };
 
     // Budget sweep: watch σ̂ climb with diminishing returns.
-    let budget = 12;
-    let report = solver.solve(&base.with_stop(StopRule::Budget(budget)))?;
+    let picks = 12;
+    let report = solver.solve(&base.clone().with_stop(StopRule::Budget(picks)))?;
+    if let Completion::Degraded {
+        checkpoints_done,
+        checkpoints_total,
+        reason,
+    } = report.completion
+    {
+        println!(
+            "degraded solve: {reason} after {checkpoints_done}/{checkpoints_total} checkpoints"
+        );
+    }
     let SolveDetail::Greedy(selection) = &report.detail else {
         unreachable!("a greedy request carries a greedy detail");
     };
@@ -110,7 +161,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // session's cached trajectory instead of starting cold, and the
     // cache-counter delta around the batch shows the reuse.
     let alphas = [0.5, 0.8, 0.95];
-    let batch = alphas.map(|alpha| base.with_stop(StopRule::Alpha(alpha)));
+    let batch = alphas.map(|alpha| base.clone().with_stop(StopRule::Alpha(alpha)));
     let before = solver.cache_stats();
     let reports = solver.solve_many(&batch);
     let batch_delta = solver.cache_stats().delta_since(&before);

@@ -16,8 +16,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lcrb::engine::{Algorithm, FamilyCache, Gate, SolveRequest, Solver};
-use lcrb::RumorBlockingInstance;
+use lcrb::engine::{Algorithm, Completion, FamilyCache, Gate, SolveRequest, Solver};
+use lcrb::{CancelToken, LcrbError, RumorBlockingInstance, RunBudget, StopReason};
 use lcrb_community::Partition;
 use lcrb_diffusion::ScratchPool;
 use lcrb_graph::{DiGraph, NodeId};
@@ -297,4 +297,190 @@ fn injected_scratch_lease_panic_returns_the_scratch_to_the_pool() {
     })
     .expect("lease-unwind recovery must hold under every schedule");
     assert!(exploration.schedules > 1);
+}
+
+/// Cancellation is the fourth recovery-critical window: a builder
+/// that observes a cancelled token returns `Err(Interrupted)` from
+/// inside the `family.build` window, and under every 2-thread
+/// schedule the Building slot is vacated, the waiter is released to
+/// rebuild (or built first and never saw the error), and the miss
+/// accounting matches whichever order the schedule chose.
+#[test]
+fn dfs_cancelled_family_build_frees_waiters_and_vacates_the_slot() {
+    let exploration = sched::explore_dfs(&Config::default(), || {
+        let cache: FamilyCache<u8, u64> = FamilyCache::default();
+        let token = CancelToken::new();
+        token.cancel();
+        thread::scope(|scope| {
+            // The cancelled request: its builder polls the token the
+            // way the engine's metered builders do and bails.
+            let cancelled = scope.spawn(|| {
+                cache.get_or_try_build(7, 0, || {
+                    if token.is_cancelled() {
+                        return Err(LcrbError::Interrupted {
+                            reason: StopReason::Cancelled,
+                        });
+                    }
+                    Ok(41)
+                })
+            });
+            // An uncancelled request racing it on the same key.
+            let clean = scope.spawn(|| cache.get_or_try_build::<LcrbError>(7, 0, || Ok(42)));
+            let cancelled = cancelled.join().expect("no panic");
+            let clean = clean.join().expect("no panic").expect("clean build");
+            match cancelled {
+                // The cancelled claim won the slot: it errored, the
+                // waiter was released and rebuilt.
+                Err(LcrbError::Interrupted {
+                    reason: StopReason::Cancelled,
+                }) => {
+                    assert_eq!(clean, 42);
+                    assert_eq!(cache.counter_snapshot().misses, 2);
+                }
+                // The clean claim won: the cancelled prober hit the
+                // published value and its builder never ran.
+                Ok(v) => {
+                    assert_eq!(v, 42);
+                    assert_eq!(clean, 42);
+                    assert_eq!(cache.counter_snapshot().misses, 1);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        });
+        // Never a poisoned slot: a fresh probe is a pure hit.
+        let counters = cache.counter_snapshot();
+        assert_eq!(cache.get_or_build(7, 0, || unreachable!("must hit")), 42);
+        assert_eq!(cache.counter_snapshot().hits, counters.hits + 1);
+    })
+    .expect("cancelled-build recovery must hold under every schedule");
+    assert!(exploration.schedules > 1);
+    assert!(exploration.complete);
+}
+
+/// A cancel token flipped by a concurrent thread while a solve is in
+/// flight (so cancellation can land inside the `family.build` and
+/// `celf.advance` windows, both scheduling points) either interrupts
+/// the solve or loses the race cleanly — and either way the session
+/// is left unpoisoned: an uncancelled re-solve completes exactly and
+/// cold-equal.
+#[test]
+fn cancellation_racing_a_solve_never_poisons_the_session() {
+    let inst = tiny_instance();
+    let req = greedy_request(2);
+    let cold = Solver::new(inst.clone())
+        .solve(&req)
+        .expect("cold reference solve");
+
+    let exploration = sched::explore_seeds(&Config::default(), &[5, 13, 23, 37], || {
+        let solver = Solver::new(inst.clone());
+        let token = CancelToken::new();
+        let cancellable = req.clone().with_cancel(token.clone());
+        thread::scope(|scope| {
+            let solving = scope.spawn(|| solver.solve(&cancellable));
+            let canceller = scope.spawn(|| token.cancel());
+            let outcome = solving.join().expect("a cancelled solve never panics");
+            canceller.join().expect("canceller");
+            match outcome {
+                Ok(report) => {
+                    // Cancellation lost the race to every checkpoint.
+                    assert_eq!(report.completion, Completion::Exact);
+                    assert_eq!(report.protectors, cold.protectors);
+                }
+                Err(LcrbError::Interrupted { reason }) => {
+                    assert_eq!(reason, StopReason::Cancelled);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        });
+        // Recovery-critical invariant: whatever the race did, slots
+        // were vacated, gates opened, and the session still produces
+        // the exact cold answer.
+        let after = solver.solve(&req).expect("recovery solve");
+        assert_eq!(after.completion, Completion::Exact);
+        assert_eq!(after.protectors, cold.protectors);
+    })
+    .unwrap_or_else(|failure| panic!("cancellation race exploration failed: {failure}"));
+    assert_eq!(exploration.schedules, 4);
+}
+
+/// Two concurrent work-budget solves park prefix-consistent partial
+/// trajectories under every schedule. Budgets meter the work a solve
+/// *performs*, not the size of its answer, so a solve that resumes
+/// the other's parked one-pick trajectory may finish inside the same
+/// advance budget — every outcome is either the exact answer or its
+/// one-pick prefix, and the follow-up unlimited solve always resumes
+/// to the exact cold answer.
+/// Two five-node communities with several escape routes, sized so a
+/// budget-2 greedy actually commits two picks.
+fn wider_instance() -> RumorBlockingInstance {
+    let g = DiGraph::from_edges(
+        10,
+        [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (4, 5),
+            (3, 6),
+            (2, 7),
+            (5, 8),
+            (6, 9),
+            (7, 8),
+            (8, 9),
+            (5, 6),
+        ],
+    )
+    .expect("graph");
+    let p = Partition::from_labels(vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1]);
+    RumorBlockingInstance::new(g, p, 0, vec![NodeId::new(0)]).expect("instance")
+}
+
+#[test]
+fn degraded_parking_under_concurrent_solves_stays_prefix_consistent() {
+    let inst = wider_instance();
+    let full = greedy_request(2);
+    let cold = Solver::new(inst.clone())
+        .solve(&full)
+        .expect("cold reference solve");
+    assert!(
+        cold.protectors.len() >= 2,
+        "fixture must have at least two picks for a meaningful prefix"
+    );
+    let starved = full
+        .clone()
+        .with_budget(RunBudget::unlimited().with_max_advances(1));
+
+    let exploration = sched::explore_seeds(&Config::default(), &[3, 17], || {
+        let solver = Solver::new(inst.clone());
+        thread::scope(|scope| {
+            let a = scope.spawn(|| solver.solve(&starved));
+            let b = scope.spawn(|| solver.solve(&starved));
+            let mut degraded = 0;
+            for h in [a, b] {
+                let report = h
+                    .join()
+                    .expect("a budget stop never panics")
+                    .expect("a budget stop degrades instead of erroring");
+                if report.is_degraded() {
+                    // Best-so-far is the bitwise prefix of the cold run.
+                    assert_eq!(report.protectors[..], cold.protectors[..1]);
+                    degraded += 1;
+                } else {
+                    // This solve resumed the other's parked prefix and
+                    // finished inside its own advance budget.
+                    assert_eq!(report.protectors, cold.protectors);
+                }
+            }
+            // A cold trajectory cannot reach two picks on one advance:
+            // at least one of the pair must have degraded.
+            assert!(degraded >= 1, "both solves claimed to finish cold");
+        });
+        // The parked one-pick trajectory resumes, never restarts.
+        let resumed = solver.solve(&full).expect("resume solve");
+        assert_eq!(resumed.completion, Completion::Exact);
+        assert_eq!(resumed.protectors, cold.protectors);
+    })
+    .unwrap_or_else(|failure| panic!("degraded-parking exploration failed: {failure}"));
+    assert_eq!(exploration.schedules, 2);
 }
